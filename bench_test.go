@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's per-experiment index). Each benchmark runs the
+// corresponding experiment end to end at a reduced-but-faithful size; run
+// cmd/experiments for the printed artifacts and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The trailing ablation benches time the
+// design choices DESIGN.md calls out.
+package gamelens
+
+import (
+	"sync"
+	"testing"
+
+	"gamelens/internal/experiments"
+)
+
+// benchOptions keeps each iteration in the single-digit seconds.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		TrainPerTitle:  3,
+		TestPerTitle:   1,
+		SessionMinutes: 10,
+		FleetSessions:  30,
+		Trees:          25,
+		Seed:           3,
+	}
+}
+
+var (
+	benchCorpusOnce sync.Once
+	benchCorpus     *experiments.Corpus
+	benchFieldOnce  sync.Once
+	benchField      *experiments.FieldRun
+)
+
+func corpus(b *testing.B) *experiments.Corpus {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		benchCorpus = experiments.NewCorpus(benchOptions())
+	})
+	return benchCorpus
+}
+
+func fieldRun(b *testing.B) *experiments.FieldRun {
+	b.Helper()
+	c := corpus(b)
+	benchFieldOnce.Do(func() {
+		fr, err := experiments.NewFieldRun(c)
+		if err != nil {
+			panic(err)
+		}
+		benchField = fr
+	})
+	return benchField
+}
+
+func BenchmarkTable1Catalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table1(benchOptions()); len(r.Table.Rows) != 13 {
+			b.Fatal("bad catalog")
+		}
+	}
+}
+
+func BenchmarkTable2Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(benchOptions()); len(r.Table.Rows) != 8 {
+			b.Fatal("bad dataset table")
+		}
+	}
+}
+
+func BenchmarkFigure3LaunchGroups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure3(benchOptions()); len(r.Table.Rows) != 4 {
+			b.Fatal("bad launch groups")
+		}
+	}
+}
+
+func BenchmarkFigure4Volumetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure4(benchOptions()); len(r.Table.Rows) == 0 {
+			b.Fatal("bad volumetrics")
+		}
+	}
+}
+
+func BenchmarkFigure5Transitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure5(benchOptions()); len(r.Table.Rows) != 2 {
+			b.Fatal("bad transitions")
+		}
+	}
+}
+
+func BenchmarkFigure8WindowSweep(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure8(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Attributes(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9Importance(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10AlphaSweep(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4StagePattern(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table4(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure14TitleTuning(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure14(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15PatternTuning(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure15(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5TransitionImportance(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table5(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11Durations(b *testing.B) {
+	fr := fieldRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure11(fr); len(r.Table.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure12Bandwidth(b *testing.B) {
+	fr := fieldRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure12(fr); len(r.Table.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFigure13EffectiveQoE(b *testing.B) {
+	fr := fieldRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Figure13(fr); len(r.Table.Rows) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFieldValidation(b *testing.B) {
+	fr := fieldRun(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.FieldValidation(fr); len(r.Table.Rows) != 5 {
+			b.Fatal("bad validation table")
+		}
+	}
+}
+
+func BenchmarkAblationsDesignChoices(b *testing.B) {
+	c := corpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainDefaultModels times the end-user training path exposed by
+// the facade.
+func BenchmarkTrainDefaultModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainModels(int64(i)+1, TrainOptions{SessionsPerTitle: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command gndump inspects a PCAP capture: it lists transport flows with
+// volume and rate statistics, flags the ones matching the cloud-gaming
+// streaming signature, and can dump per-packet records of one flow.
+//
+// Usage:
+//
+//	gndump [-flows] [-packets N] capture.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+
+	"gamelens/internal/flowdetect"
+	"gamelens/internal/packet"
+	"gamelens/internal/pcapio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gndump: ")
+	showPackets := flag.Int("packets", 0, "dump the first N packets")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	r, err := pcapio.NewReader(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linktype=%d snaplen=%d\n", r.LinkType(), r.SnapLen())
+
+	det := flowdetect.New(flowdetect.Config{})
+	var dec packet.Decoded
+	frames, decodeErrs := 0, 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("frame %d: %v", frames, err)
+		}
+		if frames < *showPackets {
+			if derr := packet.Decode(rec.Data, &dec); derr == nil {
+				fmt.Printf("%6d %s %v -> %v payload=%d\n",
+					frames, rec.Timestamp.Format("15:04:05.000000"),
+					dec.Flow().Src, dec.Flow().Dst, len(dec.Payload))
+			}
+		}
+		frames++
+		if err := packet.Decode(rec.Data, &dec); err != nil {
+			decodeErrs++
+			continue
+		}
+		det.Observe(rec.Timestamp, &dec, dec.Payload)
+	}
+
+	fmt.Printf("%d frames (%d undecodable)\n\n", frames, decodeErrs)
+	fmt.Printf("%-55s %-8s %-20s %10s %10s %8s\n", "flow", "state", "platform", "down pkts", "up pkts", "Mbps")
+	var flows []*flowdetect.Flow
+	for _, f := range det.GamingFlows() {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].DownBytes > flows[j].DownBytes })
+	for _, f := range flows {
+		fmt.Printf("%-55s %-8s %-20s %10d %10d %8.1f\n",
+			f.Key, f.State, f.Platform, f.DownPkts, f.UpPkts, f.DownMbps())
+	}
+	if len(flows) == 0 {
+		fmt.Println("(no gaming flows)")
+	}
+}

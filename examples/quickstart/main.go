@@ -1,0 +1,64 @@
+// Quickstart: train the models, generate one cloud-gaming session, and
+// classify its context — the game title from the first five seconds of the
+// launch stream, the player activity stages continuously, and the gameplay
+// activity pattern once confident.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gamelens"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train both classifiers on the built-in lab-style substrate. With a
+	// fixed seed this is fully reproducible.
+	fmt.Println("training models...")
+	models, err := gamelens.TrainModels(7, gamelens.TrainOptions{
+		SessionsPerTitle: 5,
+		SessionLength:    20 * time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate an unseen session: CS:GO on a Windows PC at QHD 60 fps.
+	cfg := gamesim.ClientConfig{
+		Device: gamesim.DevicePC, OS: gamesim.OSWindows,
+		Software: gamesim.NativeApp, Resolution: gamesim.ResQHD, FPS: 60,
+	}
+	session := gamesim.Generate(gamesim.CSGO, cfg, gamesim.LabNetwork(), 12345,
+		gamesim.Options{SessionLength: 12 * time.Minute})
+	fmt.Printf("generated session: %s on %s, %.0f minutes\n",
+		session.Title.Name, session.Config, session.Duration().Minutes())
+
+	// 1. Game title from the launch window.
+	result := models.Title.Classify(session.Launch)
+	fmt.Printf("title classification: %v (truth: %s)\n", result, session.Title.Name)
+
+	// 2. Player activity stages, slot by slot.
+	tracker := models.Stage.NewTracker(session.LaunchEnd())
+	counts := map[trace.Stage]int{}
+	for _, slot := range trace.Rebin(session.Slots, time.Second) {
+		r := tracker.Push(slot)
+		counts[r.Stage]++
+	}
+	fmt.Printf("classified stage seconds: active=%d passive=%d idle=%d\n",
+		counts[trace.StageActive], counts[trace.StagePassive], counts[trace.StageIdle])
+
+	// 3. Gameplay activity pattern.
+	if pattern, ok := tracker.Pattern(); ok {
+		fmt.Printf("gameplay pattern: %v (%.0f%% confident, decided after %d s; truth: %v)\n",
+			pattern.Pattern, pattern.Confidence*100, pattern.At, session.Title.Pattern)
+	} else {
+		best := tracker.ForcePattern()
+		fmt.Printf("gameplay pattern (forced at session end): %v (truth: %v)\n",
+			best.Pattern, session.Title.Pattern)
+	}
+}

@@ -1,0 +1,85 @@
+// trainer shows the model lifecycle: build a labeled dataset from generated
+// sessions (or PCAPs produced by cmd/gensessions), train the title
+// classifier, evaluate it with a stratified hold-out split and per-title
+// recalls, inspect attribute importance, and export the model as JSON for
+// cmd/classify.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"gamelens"
+	"gamelens/internal/features"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/titleclass"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build a labeled corpus (8 sessions per title, mixed configs).
+	fmt.Println("generating labeled sessions...")
+	rng := rand.New(rand.NewSource(2024))
+	var sessions []*gamesim.Session
+	for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
+		for i := 0; i < 8; i++ {
+			cfg := gamesim.RandomConfig(rng)
+			sessions = append(sessions, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
+				2024+int64(id)*1000+int64(i), gamesim.Options{SessionLength: 3 * time.Minute}))
+		}
+	}
+
+	// 2. Reduce to the 51 packet-group attributes and split.
+	ds := titleclass.BuildDataset(sessions, 5*time.Second, time.Second, features.DefaultGroupConfig())
+	train, test, err := mlkit.StratifiedSplit(ds, 0.25, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d train / %d test samples, %d attributes\n",
+		train.NumSamples(), test.NumSamples(), ds.NumFeatures())
+
+	// 3. Train the deployed model configuration (500 trees, depth 10).
+	forest, err := mlkit.FitForest(train, mlkit.ForestConfig{NumTrees: 500, MaxDepth: 10, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Evaluate: overall accuracy and per-title recall (the Table 3 view).
+	cm := mlkit.Evaluate(forest, test)
+	fmt.Printf("hold-out accuracy: %.1f%%\n", cm.Accuracy()*100)
+	for id := 0; id < int(gamesim.NumTitles); id++ {
+		fmt.Printf("  %-20s recall %.1f%%  precision %.1f%%\n",
+			gamesim.TitleID(id), cm.Recall(id)*100, cm.Precision(id)*100)
+	}
+
+	// 5. Attribute importance (the Fig 9 view), top ten.
+	imp := mlkit.PermutationImportance(forest, test, 3, 13)
+	names := features.LaunchAttrNames()
+	order := make([]int, len(imp))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return imp[order[a]] > imp[order[b]] })
+	fmt.Println("top attributes by permutation importance:")
+	for _, i := range order[:10] {
+		fmt.Printf("  %-22s %.4f\n", names[i], imp[i])
+	}
+
+	// 6. Export for cmd/classify -title-model.
+	out, err := os.Create("title-model.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	models := &gamelens.Models{Title: titleclass.FromModel(forest, titleclass.Config{})}
+	if err := gamelens.SaveTitleModel(out, models); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model written to title-model.json")
+}

@@ -1,0 +1,197 @@
+// Package gamelens classifies the context of cloud-game streaming sessions
+// from passive network traffic — the game title within the first seconds of
+// launch, the player activity stage (idle / passive / active) continuously,
+// and the gameplay activity pattern — and uses those contexts to turn
+// objective QoE measurements into effective QoE, after "Games Are Not Equal:
+// Classifying Cloud Gaming Contexts for Effective User Experience
+// Measurement" (ACM IMC 2025).
+//
+// The package is a thin facade over the implementation packages:
+//
+//   - internal/packet, internal/pcapio: wire formats (Ethernet/IP/UDP/RTP,
+//     PCAP files)
+//   - internal/flowdetect: the cloud-gaming packet filter
+//   - internal/features: packet-group and volumetric attribute extraction
+//   - internal/mlkit: random forests, SVM, KNN, metrics, importance
+//   - internal/titleclass, internal/stageclass: the paper's two novel
+//     classification processes
+//   - internal/qoe: objective → effective QoE calibration
+//   - internal/gamesim, internal/fleet: the lab and ISP-scale traffic
+//     substrates standing in for the paper's datasets
+//   - internal/core: the online Fig 6 pipeline
+//
+// Quickstart:
+//
+//	models, _ := gamelens.TrainDefaultModels(42)
+//	pipe := gamelens.NewPipeline(gamelens.PipelineConfig{}, models)
+//	// feed decoded packets: pipe.HandlePacket(ts, &dec, payload)
+//	for _, report := range pipe.Finish() {
+//	    fmt.Println(report)
+//	}
+package gamelens
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"gamelens/internal/core"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/titleclass"
+)
+
+// Re-exported types: the public API surface downstream users program
+// against.
+type (
+	// Pipeline is the online Fig 6 analysis engine.
+	Pipeline = core.Pipeline
+	// PipelineConfig tunes the pipeline.
+	PipelineConfig = core.Config
+	// SessionReport summarizes one streaming flow.
+	SessionReport = core.SessionReport
+	// TitleClassifier is the §4.2 game-title classifier.
+	TitleClassifier = titleclass.Classifier
+	// StageClassifier is the §4.3 stage + pattern classifier.
+	StageClassifier = stageclass.Classifier
+	// Session is one generated cloud-gaming session.
+	Session = gamesim.Session
+)
+
+// Models bundles the two trained classifiers a pipeline needs.
+type Models struct {
+	Title *TitleClassifier
+	Stage *StageClassifier
+}
+
+// TrainOptions sizes model training.
+type TrainOptions struct {
+	// SessionsPerTitle is the number of training sessions per catalog
+	// title (default 8).
+	SessionsPerTitle int
+	// SessionLength bounds each training session (default 25 minutes).
+	SessionLength time.Duration
+	// TitleForest / StageForest override the model configurations; zero
+	// values take the paper's deployed settings.
+	TitleConfig titleclass.Config
+	StageConfig stageclass.Config
+}
+
+// TrainDefaultModels generates a lab-style training corpus with the built-in
+// traffic substrate and trains both classifiers with the paper's deployed
+// settings. It is deterministic in seed.
+func TrainDefaultModels(seed int64) (*Models, error) {
+	return TrainModels(seed, TrainOptions{})
+}
+
+// TrainModels is TrainDefaultModels with explicit sizing.
+func TrainModels(seed int64, opts TrainOptions) (*Models, error) {
+	if opts.SessionsPerTitle <= 0 {
+		opts.SessionsPerTitle = 8
+	}
+	if opts.SessionLength <= 0 {
+		opts.SessionLength = 25 * time.Minute
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sessions []*gamesim.Session
+	for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
+		for i := 0; i < opts.SessionsPerTitle; i++ {
+			cfg := gamesim.RandomConfig(rng)
+			sessions = append(sessions, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
+				seed+int64(id)*10007+int64(i)*37, gamesim.Options{SessionLength: opts.SessionLength}))
+		}
+	}
+	return TrainModelsFromSessions(sessions, seed, opts)
+}
+
+// TrainModelsFromSessions trains both classifiers on caller-provided
+// sessions (generated, or rebuilt from labeled PCAPs).
+func TrainModelsFromSessions(sessions []*gamesim.Session, seed int64, opts TrainOptions) (*Models, error) {
+	tcfg := opts.TitleConfig
+	if tcfg.Seed == 0 {
+		tcfg.Seed = seed + 1
+	}
+	title, err := titleclass.Train(sessions, tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("gamelens: training title classifier: %w", err)
+	}
+	scfg := opts.StageConfig
+	if scfg.Seed == 0 {
+		scfg.Seed = seed + 2
+	}
+	stage, err := stageclass.Train(sessions, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("gamelens: training stage classifier: %w", err)
+	}
+	return &Models{Title: title, Stage: stage}, nil
+}
+
+// NewPipeline assembles an online pipeline around trained models.
+func NewPipeline(cfg PipelineConfig, m *Models) *Pipeline {
+	return core.New(cfg, m.Title, m.Stage)
+}
+
+// SaveTitleModel writes the title classifier's forest as JSON. The
+// classifier must have been trained with the default random-forest model.
+func SaveTitleModel(w io.Writer, m *Models) error {
+	f, ok := m.Title.Model().(*mlkit.Forest)
+	if !ok {
+		return fmt.Errorf("gamelens: title model is %T, not a forest", m.Title.Model())
+	}
+	return mlkit.SaveForest(w, f)
+}
+
+// LoadTitleModel reads a forest saved by SaveTitleModel and wraps it with
+// the given classification config.
+func LoadTitleModel(r io.Reader, cfg titleclass.Config) (*TitleClassifier, error) {
+	f, err := mlkit.LoadForest(r)
+	if err != nil {
+		return nil, err
+	}
+	return titleclass.FromModel(f, cfg), nil
+}
+
+// SaveStageModels writes the stage and pattern forests as two concatenated
+// JSON documents.
+func SaveStageModels(w io.Writer, m *Models) error {
+	sf, ok := m.Stage.StageModel().(*mlkit.Forest)
+	if !ok {
+		return fmt.Errorf("gamelens: stage model is %T, not a forest", m.Stage.StageModel())
+	}
+	pf, ok := m.Stage.PatternModel().(*mlkit.Forest)
+	if !ok {
+		return fmt.Errorf("gamelens: pattern model is %T, not a forest", m.Stage.PatternModel())
+	}
+	if err := mlkit.SaveForest(w, sf); err != nil {
+		return err
+	}
+	return mlkit.SaveForest(w, pf)
+}
+
+// LoadStageModels reads the two forests written by SaveStageModels and wraps
+// them with the given configuration.
+func LoadStageModels(r io.Reader, cfg stageclass.Config) (*StageClassifier, error) {
+	// A json.Decoder buffers past the first value, so the stream is framed
+	// into raw documents before handing each to LoadForest.
+	dec := json.NewDecoder(r)
+	var rawStage, rawPattern json.RawMessage
+	if err := dec.Decode(&rawStage); err != nil {
+		return nil, fmt.Errorf("gamelens: stage forest: %w", err)
+	}
+	if err := dec.Decode(&rawPattern); err != nil {
+		return nil, fmt.Errorf("gamelens: pattern forest: %w", err)
+	}
+	sf, err := mlkit.LoadForest(bytes.NewReader(rawStage))
+	if err != nil {
+		return nil, fmt.Errorf("gamelens: stage forest: %w", err)
+	}
+	pf, err := mlkit.LoadForest(bytes.NewReader(rawPattern))
+	if err != nil {
+		return nil, fmt.Errorf("gamelens: pattern forest: %w", err)
+	}
+	return stageclass.FromModels(sf, pf, cfg), nil
+}

@@ -1,0 +1,137 @@
+package gamelens
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/titleclass"
+	"gamelens/internal/trace"
+)
+
+func smallTrainOptions() TrainOptions {
+	return TrainOptions{
+		SessionsPerTitle: 5,
+		SessionLength:    12 * time.Minute,
+		TitleConfig:      titleclass.Config{Forest: mlkit.ForestConfig{NumTrees: 60, MaxDepth: 10}},
+	}
+}
+
+func TestTrainModelsAndClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	models, err := TrainModels(5, smallTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gamesim.Generate(gamesim.Fortnite,
+		gamesim.ClientConfig{Resolution: gamesim.ResQHD, FPS: 60},
+		gamesim.LabNetwork(), 777, gamesim.Options{SessionLength: 8 * time.Minute})
+	r := models.Title.Classify(s.Launch)
+	if !r.Known || r.Title != gamesim.Fortnite {
+		t.Errorf("classified %v, want Fortnite", r)
+	}
+	tracker := models.Stage.NewTracker(s.LaunchEnd())
+	for _, slot := range trace.Rebin(s.Slots, time.Second) {
+		tracker.Push(slot)
+	}
+	if tracker.Transitions().Total() == 0 {
+		t.Error("tracker saw no transitions")
+	}
+}
+
+func TestTrainModelsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models twice")
+	}
+	opts := smallTrainOptions()
+	opts.SessionsPerTitle = 2
+	a, err := TrainModels(9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainModels(9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gamesim.Generate(gamesim.Dota2,
+		gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60},
+		gamesim.LabNetwork(), 13, gamesim.Options{SessionLength: 5 * time.Minute})
+	ra, rb := a.Title.Classify(s.Launch), b.Title.Classify(s.Launch)
+	if ra != rb {
+		t.Errorf("same seed, different results: %v vs %v", ra, rb)
+	}
+}
+
+func TestSaveLoadTitleModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	models, err := TrainModels(11, smallTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTitleModel(&buf, models); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTitleModel(&buf, titleclass.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gamesim.Generate(gamesim.Hearthstone,
+		gamesim.ClientConfig{Resolution: gamesim.ResHD, FPS: 30},
+		gamesim.LabNetwork(), 17, gamesim.Options{SessionLength: 5 * time.Minute})
+	if a, b := models.Title.Classify(s.Launch), loaded.Classify(s.Launch); a != b {
+		t.Errorf("loaded model disagrees: %v vs %v", a, b)
+	}
+}
+
+func TestNewPipelineWired(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	models, err := TrainModels(15, smallTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPipeline(PipelineConfig{}, models)
+	if p == nil {
+		t.Fatal("nil pipeline")
+	}
+	if got := p.Finish(); len(got) != 0 {
+		t.Errorf("fresh pipeline has %d sessions", len(got))
+	}
+}
+
+func TestSaveLoadStageModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	models, err := TrainModels(19, smallTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveStageModels(&buf, models); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStageModels(&buf, models.Stage.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gamesim.Generate(gamesim.Overwatch2,
+		gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60},
+		gamesim.LabNetwork(), 23, gamesim.Options{SessionLength: 8 * time.Minute})
+	a := models.Stage.NewTracker(s.LaunchEnd())
+	b := loaded.NewTracker(s.LaunchEnd())
+	for _, slot := range trace.Rebin(s.Slots, time.Second) {
+		ra, rb := a.Push(slot), b.Push(slot)
+		if ra.Stage != rb.Stage {
+			t.Fatal("loaded stage model disagrees")
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/trace"
+)
+
+func mkPkt(tSec float64, size int) trace.Pkt {
+	return trace.Pkt{T: time.Duration(tSec * float64(time.Second)), Dir: trace.Down, Size: size}
+}
+
+func TestLabelGroupsFull(t *testing.T) {
+	cfg := DefaultGroupConfig()
+	pkts := []trace.Pkt{
+		mkPkt(0.1, 1432), mkPkt(0.2, 1432), mkPkt(0.3, 500),
+		mkPkt(0.4, 505), mkPkt(0.5, 498), mkPkt(0.6, 502),
+	}
+	labeled := LabelGroups(pkts, time.Second, cfg)
+	if len(labeled) != 6 {
+		t.Fatalf("%d labeled packets", len(labeled))
+	}
+	if labeled[0].Group != GroupFull || labeled[1].Group != GroupFull {
+		t.Error("max-payload packets not labeled full")
+	}
+	for i := 2; i < 6; i++ {
+		if labeled[i].Group != GroupSteady {
+			t.Errorf("packet %d (size %d) = %v, want steady", i, labeled[i].Size, labeled[i].Group)
+		}
+	}
+}
+
+func TestLabelGroupsSparse(t *testing.T) {
+	cfg := DefaultGroupConfig()
+	// Wildly varying sizes: no neighbour within 10%.
+	pkts := []trace.Pkt{
+		mkPkt(0.1, 100), mkPkt(0.2, 400), mkPkt(0.3, 900),
+		mkPkt(0.4, 200), mkPkt(0.5, 1300), mkPkt(0.6, 650),
+	}
+	for _, p := range LabelGroups(pkts, time.Second, cfg) {
+		if p.Group != GroupSparse {
+			t.Errorf("size %d = %v, want sparse", p.Size, p.Group)
+		}
+	}
+}
+
+func TestLabelGroupsVSensitivity(t *testing.T) {
+	// Sizes 500 and 540 differ by 8%: steady at V=10%, sparse at V=1%.
+	pkts := []trace.Pkt{
+		mkPkt(0.1, 500), mkPkt(0.2, 540), mkPkt(0.3, 500), mkPkt(0.4, 540),
+	}
+	loose := LabelGroups(pkts, time.Second, GroupConfig{MaxPayload: 1432, V: 0.10, Neighbors: 3})
+	for _, p := range loose {
+		if p.Group != GroupSteady {
+			t.Errorf("V=10%%: size %d = %v, want steady", p.Size, p.Group)
+		}
+	}
+	tight := LabelGroups(pkts, time.Second, GroupConfig{MaxPayload: 1432, V: 0.01, Neighbors: 3})
+	steady := 0
+	for _, p := range tight {
+		if p.Group == GroupSteady {
+			steady++
+		}
+	}
+	if steady > 0 {
+		t.Errorf("V=1%%: %d steady packets, want 0", steady)
+	}
+}
+
+func TestLabelGroupsIgnoresUpstream(t *testing.T) {
+	pkts := []trace.Pkt{
+		{T: time.Millisecond, Dir: trace.Up, Size: 90},
+		mkPkt(0.2, 1432),
+	}
+	labeled := LabelGroups(pkts, time.Second, DefaultGroupConfig())
+	if len(labeled) != 1 || labeled[0].Group != GroupFull {
+		t.Fatalf("labeled = %+v", labeled)
+	}
+}
+
+func TestLabelGroupsSlotIsolation(t *testing.T) {
+	// Two slots with the same band each should label steadily even though
+	// the bands differ across slots.
+	var pkts []trace.Pkt
+	for i := 0; i < 8; i++ {
+		pkts = append(pkts, mkPkt(0.1+float64(i)*0.1, 400+i%2))
+	}
+	for i := 0; i < 8; i++ {
+		pkts = append(pkts, mkPkt(1.1+float64(i)*0.1, 900+i%2))
+	}
+	for _, p := range LabelGroups(pkts, time.Second, DefaultGroupConfig()) {
+		if p.Group != GroupSteady {
+			t.Errorf("size %d at %v = %v, want steady", p.Size, p.T, p.Group)
+		}
+	}
+}
+
+func TestLaunchAttrNames(t *testing.T) {
+	names := LaunchAttrNames()
+	if len(names) != NumLaunchAttrs {
+		t.Fatalf("%d names, want %d", len(names), NumLaunchAttrs)
+	}
+	if names[0] != "full ct sum" || names[1] != "full sz sum" || names[50] != "sparse it skew" {
+		t.Errorf("name order wrong: %q, %q, %q", names[0], names[1], names[50])
+	}
+}
+
+func TestLaunchAttributesShapeAndDeterminism(t *testing.T) {
+	title := gamesim.TitleByID(gamesim.Fortnite)
+	cfg := gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60}
+	rng := rand.New(rand.NewSource(1))
+	pkts := gamesim.GenerateLaunch(title, cfg, gamesim.LabNetwork(), rng, 6*time.Second)
+	a := LaunchAttributes(pkts, 5*time.Second, time.Second, DefaultGroupConfig())
+	if len(a) != NumLaunchAttrs {
+		t.Fatalf("%d attributes, want %d", len(a), NumLaunchAttrs)
+	}
+	b := LaunchAttributes(pkts, 5*time.Second, time.Second, DefaultGroupConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("attributes not deterministic")
+		}
+		if math.IsNaN(a[i]) || math.IsInf(a[i], 0) {
+			t.Fatalf("attribute %d is %v", i, a[i])
+		}
+	}
+	if a[0] <= 0 {
+		t.Error("full ct sum must be positive on a real launch window")
+	}
+}
+
+func TestLaunchAttributesSeparateTitles(t *testing.T) {
+	// Attribute vectors of two sessions of the same title must be closer
+	// than vectors of different titles (the basis of §4.2).
+	cfg := gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60}
+	vec := func(id gamesim.TitleID, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		pkts := gamesim.GenerateLaunch(gamesim.TitleByID(id), cfg, gamesim.LabNetwork(), rng, 6*time.Second)
+		return LaunchAttributes(pkts, 5*time.Second, time.Second, DefaultGroupConfig())
+	}
+	g1 := vec(gamesim.GenshinImpact, 1)
+	g2 := vec(gamesim.GenshinImpact, 2)
+	f1 := vec(gamesim.Fortnite, 3)
+	// Normalize per dimension to compare fairly.
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			scale := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+			if scale < 1e-9 {
+				continue
+			}
+			d := (a[i] - b[i]) / scale
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	if dist(g1, g2) >= dist(g1, f1) {
+		t.Errorf("same-title distance %.2f >= cross-title distance %.2f", dist(g1, g2), dist(g1, f1))
+	}
+}
+
+func TestVolumetricLaunchAttributes(t *testing.T) {
+	pkts := []trace.Pkt{
+		mkPkt(0.1, 1000), mkPkt(0.6, 1000),
+		{T: 300 * time.Millisecond, Dir: trace.Up, Size: 100},
+	}
+	a := VolumetricLaunchAttributes(pkts, 2*time.Second, time.Second)
+	if len(a) != NumVolumetricLaunchAttrs(2*time.Second, time.Second) {
+		t.Fatalf("%d attrs", len(a))
+	}
+	// Slot 0 (0-1 s): 2 down pkts (2000 B), 1 up pkt (100 B). Slot 1: empty.
+	if a[0] != 2 || a[1] != 2000 {
+		t.Errorf("slot 0 down = %v/%v, want 2/2000", a[0], a[1])
+	}
+	if a[2] != 1 || a[3] != 100 {
+		t.Errorf("slot 0 up = %v/%v, want 1/100", a[2], a[3])
+	}
+	if a[4] != 0 || a[5] != 0 {
+		t.Errorf("slot 1 down = %v/%v, want 0/0", a[4], a[5])
+	}
+	if len(VolumetricLaunchAttrNames(2*time.Second, time.Second)) != len(a) {
+		t.Error("name count mismatch")
+	}
+}
+
+func TestStageFeatureExtractorRelativeLevels(t *testing.T) {
+	e := NewStageFeatureExtractor(VolumetricConfig{I: time.Second, Alpha: 1.0})
+	high := trace.Slot{DownBytes: 4e6, DownPkts: 3000, UpBytes: 12000, UpPkts: 120}
+	low := trace.Slot{DownBytes: 4e5, DownPkts: 500, UpBytes: 1000, UpPkts: 10}
+	v1 := e.Push(high)
+	for i, x := range v1 {
+		if x != 1 {
+			t.Errorf("first slot attr %d = %v, want 1 (it is the peak)", i, x)
+		}
+	}
+	v2 := e.Push(low)
+	if v2[0] != 0.1 {
+		t.Errorf("low down tput rel = %v, want 0.1", v2[0])
+	}
+	if v2[3] < 0.08 || v2[3] > 0.09 {
+		t.Errorf("low up rate rel = %v, want ~0.083", v2[3])
+	}
+}
+
+func TestStageFeatureExtractorEMA(t *testing.T) {
+	e := NewStageFeatureExtractor(VolumetricConfig{I: time.Second, Alpha: 0.5})
+	s := trace.Slot{DownBytes: 100, DownPkts: 1, UpBytes: 1, UpPkts: 1}
+	e.Push(s) // seeds ema at 1 (own peak)
+	v := e.Push(trace.Slot{DownBytes: 0, DownPkts: 0, UpBytes: 0, UpPkts: 0})
+	if v[0] != 0.5 {
+		t.Errorf("EMA after drop = %v, want 0.5 (alpha 0.5)", v[0])
+	}
+	v = e.Push(trace.Slot{DownBytes: 0, DownPkts: 0, UpBytes: 0, UpPkts: 0})
+	if v[0] != 0.25 {
+		t.Errorf("EMA after two drops = %v, want 0.25", v[0])
+	}
+}
+
+func TestExtractStageFeaturesSkipsLaunch(t *testing.T) {
+	title := gamesim.TitleByID(gamesim.Overwatch2)
+	rng := rand.New(rand.NewSource(3))
+	spans := gamesim.GenerateStages(title, 10*time.Minute, rng)
+	slots := gamesim.GenerateSlots(title, 25, gamesim.LabNetwork(), spans, rng)
+	X, stages := ExtractStageFeatures(slots, spans[0].End, DefaultVolumetricConfig())
+	if len(X) != len(stages) {
+		t.Fatalf("len(X)=%d len(stages)=%d", len(X), len(stages))
+	}
+	if len(X) == 0 {
+		t.Fatal("no features")
+	}
+	for i, st := range stages {
+		if st == trace.StageLaunch {
+			t.Fatalf("launch stage leaked at %d", i)
+		}
+		for j, v := range X[i] {
+			if v < 0 || v > 1.5 {
+				t.Fatalf("feature [%d][%d] = %v out of relative range", i, j, v)
+			}
+		}
+	}
+}
+
+func TestStageFeaturesDiscriminate(t *testing.T) {
+	// Mean relative downstream level must order idle < passive <= active,
+	// and upstream must order active above passive (§3.3).
+	title := gamesim.TitleByID(gamesim.CSGO)
+	rng := rand.New(rand.NewSource(5))
+	spans := gamesim.GenerateStages(title, 30*time.Minute, rng)
+	slots := gamesim.GenerateSlots(title, 30, gamesim.LabNetwork(), spans, rng)
+	X, stages := ExtractStageFeatures(slots, spans[0].End, DefaultVolumetricConfig())
+	var mean [trace.NumStages][NumStageAttrs]float64
+	var count [trace.NumStages]float64
+	for i, st := range stages {
+		for j, v := range X[i] {
+			mean[st][j] += v
+		}
+		count[st]++
+	}
+	for st := range mean {
+		if count[st] == 0 {
+			continue
+		}
+		for j := range mean[st] {
+			mean[st][j] /= count[st]
+		}
+	}
+	idle, active, passive := mean[trace.StageIdle], mean[trace.StageActive], mean[trace.StagePassive]
+	if !(idle[0] < passive[0] && passive[0] <= active[0]*1.05) {
+		t.Errorf("down tput rel ordering wrong: idle %.2f passive %.2f active %.2f", idle[0], passive[0], active[0])
+	}
+	if !(passive[3] < active[3]) {
+		t.Errorf("up rate rel ordering wrong: passive %.2f active %.2f", passive[3], active[3])
+	}
+}
+
+func TestTransitionMatrix(t *testing.T) {
+	var m TransitionMatrix
+	seq := []trace.Stage{
+		trace.StageIdle, trace.StageIdle, trace.StageActive,
+		trace.StageActive, trace.StagePassive, trace.StageActive,
+	}
+	for _, s := range seq {
+		m.Push(s)
+	}
+	if m.Total() != 5 {
+		t.Fatalf("total = %v, want 5", m.Total())
+	}
+	p := m.Probabilities()
+	if len(p) != 9 {
+		t.Fatalf("%d probabilities", len(p))
+	}
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+	// idle->idle once, idle->active once, active->active once,
+	// active->passive once, passive->active once.
+	names := TransitionAttrNames()
+	want := map[string]float64{
+		"idle->idle": 0.2, "idle->active": 0.2, "active->active": 0.2,
+		"active->passive": 0.2, "passive->active": 0.2,
+	}
+	for i, n := range names {
+		if w, ok := want[n]; ok {
+			if math.Abs(p[i]-w) > 1e-12 {
+				t.Errorf("%s = %v, want %v", n, p[i], w)
+			}
+		} else if p[i] != 0 {
+			t.Errorf("%s = %v, want 0", n, p[i])
+		}
+	}
+}
+
+func TestTransitionMatrixIgnoresLaunch(t *testing.T) {
+	var m TransitionMatrix
+	m.Push(trace.StageLaunch)
+	m.Push(trace.StageIdle)
+	m.Push(trace.StageActive)
+	if m.Total() != 1 {
+		t.Errorf("total = %v, want 1 (launch must not count)", m.Total())
+	}
+}
+
+func TestTransitionMatrixEmpty(t *testing.T) {
+	var m TransitionMatrix
+	p := m.Probabilities()
+	for i, v := range p {
+		if v != 0 {
+			t.Errorf("p[%d] = %v on empty matrix", i, v)
+		}
+	}
+}
+
+func BenchmarkLaunchAttributes(b *testing.B) {
+	title := gamesim.TitleByID(gamesim.Fortnite)
+	cfg := gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60}
+	rng := rand.New(rand.NewSource(1))
+	pkts := gamesim.GenerateLaunch(title, cfg, gamesim.LabNetwork(), rng, 6*time.Second)
+	gcfg := DefaultGroupConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LaunchAttributes(pkts, 5*time.Second, time.Second, gcfg)
+	}
+}

@@ -1,0 +1,146 @@
+// Package features turns raw session traffic into the attribute vectors the
+// paper's classifiers consume: the 51 packet-group launch attributes of
+// §4.2 (Fig 7) and the EMA-smoothed, peak-relative bidirectional volumetric
+// attributes of §4.3.
+package features
+
+import (
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// Group labels a downstream launch packet by its payload-size behaviour
+// relative to its slot neighbours (§3.2).
+type Group int8
+
+// Packet groups.
+const (
+	// GroupFull packets carry the fixed maximum payload.
+	GroupFull Group = iota
+	// GroupSteady packets sit in a narrow size band shared with their
+	// neighbours in the same time slot.
+	GroupSteady
+	// GroupSparse packets have sizes unrelated to their neighbours.
+	GroupSparse
+)
+
+// String names the group.
+func (g Group) String() string {
+	switch g {
+	case GroupFull:
+		return "full"
+	case GroupSteady:
+		return "steady"
+	default:
+		return "sparse"
+	}
+}
+
+// GroupConfig tunes the packet-group labeler.
+type GroupConfig struct {
+	// MaxPayload is the full-packet payload size (1432 bytes on GeForce
+	// NOW; §4.2.1).
+	MaxPayload int
+	// V is the allowed relative payload variation between a steady packet
+	// and its neighbours (the paper evaluates 1–20% and deploys 10%).
+	V float64
+	// Neighbors is how many packets on each side vote (default 3).
+	Neighbors int
+}
+
+// DefaultGroupConfig is the deployed configuration of §4.4.1.
+func DefaultGroupConfig() GroupConfig {
+	return GroupConfig{MaxPayload: 1432, V: 0.10, Neighbors: 3}
+}
+
+// LabeledPkt is a downstream packet with its assigned group.
+type LabeledPkt struct {
+	T     time.Duration
+	Size  int
+	Group Group
+}
+
+// LabelGroups classifies the downstream packets of a launch window into
+// full, steady and sparse groups. Within each slot of width slotT, a
+// non-full packet is steady when the majority of its nearest neighbours
+// (same slot) have payload sizes within ±V of its own (§4.2.1's
+// majority-voting rule); otherwise it is sparse. Input packets must be
+// sorted by time; upstream packets are ignored.
+func LabelGroups(pkts []trace.Pkt, slotT time.Duration, cfg GroupConfig) []LabeledPkt {
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = 1432
+	}
+	if cfg.V <= 0 {
+		cfg.V = 0.10
+	}
+	if cfg.Neighbors <= 0 {
+		cfg.Neighbors = 3
+	}
+	var out []LabeledPkt
+	// Partition into slots.
+	slotStart := 0
+	downs := make([]LabeledPkt, 0, len(pkts))
+	for _, p := range pkts {
+		if p.Dir != trace.Down {
+			continue
+		}
+		downs = append(downs, LabeledPkt{T: p.T, Size: p.Size})
+	}
+	for slotStart < len(downs) {
+		slotIdx := downs[slotStart].T / slotT
+		slotEnd := slotStart
+		for slotEnd < len(downs) && downs[slotEnd].T/slotT == slotIdx {
+			slotEnd++
+		}
+		labelSlot(downs[slotStart:slotEnd], cfg)
+		out = append(out, downs[slotStart:slotEnd]...)
+		slotStart = slotEnd
+	}
+	return out
+}
+
+// labelSlot assigns groups within one slot.
+func labelSlot(slot []LabeledPkt, cfg GroupConfig) {
+	// Full packets first.
+	nonFull := make([]int, 0, len(slot))
+	for i := range slot {
+		if slot[i].Size >= cfg.MaxPayload {
+			slot[i].Group = GroupFull
+		} else {
+			nonFull = append(nonFull, i)
+		}
+	}
+	// Majority vote among the nearest non-full neighbours by arrival order.
+	for pos, i := range nonFull {
+		votes, agree := 0, 0
+		size := float64(slot[i].Size)
+		for off := 1; off <= cfg.Neighbors; off++ {
+			for _, npos := range [2]int{pos - off, pos + off} {
+				if npos < 0 || npos >= len(nonFull) {
+					continue
+				}
+				votes++
+				nsize := float64(slot[nonFull[npos]].Size)
+				if size == 0 {
+					continue
+				}
+				if absf(nsize-size)/size <= cfg.V {
+					agree++
+				}
+			}
+		}
+		if votes > 0 && agree*2 > votes {
+			slot[i].Group = GroupSteady
+		} else {
+			slot[i].Group = GroupSparse
+		}
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

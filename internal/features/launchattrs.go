@@ -1,0 +1,199 @@
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// NumLaunchAttrs is the size of the launch attribute vector: 3 packet
+// groups × (1 count metric + 8 payload-size statistics + 8 inter-arrival
+// statistics) = 51, exactly the attribute set of Fig 7/Fig 9.
+const NumLaunchAttrs = 51
+
+// statNames are the eight statistical representation functions of Fig 7.
+var statNames = [8]string{"sum", "mean", "median", "min", "max", "stddev", "kurtosis", "skew"}
+
+// LaunchAttrNames returns the 51 attribute names in vector order, matching
+// the Fig 9 x-axis ("full ct sum", "full sz sum", … "sparse it skew").
+func LaunchAttrNames() []string {
+	names := make([]string, 0, NumLaunchAttrs)
+	for _, g := range [3]string{"full", "steady", "sparse"} {
+		names = append(names, g+" ct sum")
+		for _, s := range statNames {
+			names = append(names, g+" sz "+s)
+		}
+		for _, s := range statNames {
+			names = append(names, g+" it "+s)
+		}
+	}
+	return names
+}
+
+// LaunchAttributes computes the 51-dimensional game-title attribute vector
+// from the first window of a session's packets: packets are group-labeled
+// per slot of width slotT (§4.2.1), per-slot statistics are computed for
+// each group over payload sizes and inter-arrival times (§4.2.2, Fig 7),
+// and the per-slot vectors are averaged over the ceil(window/slotT) slots of
+// the window. Slots where a group is absent contribute zeros for that
+// group, which is itself a signature (a launch segment without sparse
+// packets is informative).
+func LaunchAttributes(pkts []trace.Pkt, window, slotT time.Duration, cfg GroupConfig) []float64 {
+	labeled := LabelGroups(pkts, slotT, cfg)
+	nSlots := int((window + slotT - 1) / slotT)
+	if nSlots < 1 {
+		nSlots = 1
+	}
+	acc := make([]float64, NumLaunchAttrs)
+
+	// Collect per-slot, per-group size and inter-arrival samples.
+	bySlot := make(map[int][3][]LabeledPkt, nSlots)
+	for _, p := range labeled {
+		if p.T >= window {
+			break
+		}
+		slot := int(p.T / slotT)
+		g := bySlot[slot]
+		g[p.Group] = append(g[p.Group], p)
+		bySlot[slot] = g
+	}
+	sizes := make([]float64, 0, 256)
+	iats := make([]float64, 0, 256)
+	for slot := 0; slot < nSlots; slot++ {
+		groups := bySlot[slot]
+		for gi := 0; gi < 3; gi++ {
+			ps := groups[gi]
+			base := gi * 17
+			if len(ps) == 0 {
+				continue // zero contribution
+			}
+			acc[base] += float64(len(ps)) // ct sum
+			sizes = sizes[:0]
+			iats = iats[:0]
+			for i, p := range ps {
+				sizes = append(sizes, float64(p.Size))
+				if i > 0 {
+					iats = append(iats, (p.T - ps[i-1].T).Seconds())
+				}
+			}
+			writeStats(acc[base+1:base+9], sizes)
+			writeStats(acc[base+9:base+17], iats)
+		}
+	}
+	inv := 1 / float64(nSlots)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}
+
+// writeStats accumulates the eight representation functions of values into
+// dst (sum, mean, median, min, max, stddev, kurtosis, skew). Empty input
+// contributes nothing.
+func writeStats(dst []float64, values []float64) {
+	n := float64(len(values))
+	if n == 0 {
+		return
+	}
+	var sum float64
+	minV, maxV := values[0], values[0]
+	for _, v := range values {
+		sum += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := sum / n
+	var m2, m3, m4 float64
+	for _, v := range values {
+		d := v - mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	std := math.Sqrt(m2)
+	var skew, kurt float64
+	if m2 > 1e-18 {
+		skew = m3 / math.Pow(m2, 1.5)
+		kurt = m4/(m2*m2) - 3 // excess kurtosis
+	}
+	dst[0] += sum
+	dst[1] += mean
+	dst[2] += median(values)
+	dst[3] += minV
+	dst[4] += maxV
+	dst[5] += std
+	dst[6] += kurt
+	dst[7] += skew
+}
+
+// median returns the sample median; it reorders values.
+func median(values []float64) float64 {
+	sort.Float64s(values)
+	n := len(values)
+	if n%2 == 1 {
+		return values[n/2]
+	}
+	return (values[n/2-1] + values[n/2]) / 2
+}
+
+// NumVolumetricLaunchAttrs returns the size of the baseline flow-volumetric
+// attribute vector for a given window and slot width: the paper's Table 3
+// baseline uses the two standard attributes — packet rate and throughput —
+// per time interval, here in both directions (4 per slot).
+func NumVolumetricLaunchAttrs(window, slotT time.Duration) int {
+	nSlots := int((window + slotT - 1) / slotT)
+	if nSlots < 1 {
+		nSlots = 1
+	}
+	return 4 * nSlots
+}
+
+// VolumetricLaunchAttrNames returns the baseline attribute names for the
+// given geometry.
+func VolumetricLaunchAttrNames(window, slotT time.Duration) []string {
+	n := NumVolumetricLaunchAttrs(window, slotT) / 4
+	names := make([]string, 0, 4*n)
+	for s := 0; s < n; s++ {
+		names = append(names,
+			fmt.Sprintf("down rate[%d]", s), fmt.Sprintf("down tput[%d]", s),
+			fmt.Sprintf("up rate[%d]", s), fmt.Sprintf("up tput[%d]", s))
+	}
+	return names
+}
+
+// VolumetricLaunchAttributes computes the standard flow-volumetric baseline
+// of Table 3 from the same window: per-slot packet counts and byte volumes
+// in each direction, in slot order.
+func VolumetricLaunchAttributes(pkts []trace.Pkt, window, slotT time.Duration) []float64 {
+	nSlots := NumVolumetricLaunchAttrs(window, slotT) / 4
+	out := make([]float64, 4*nSlots)
+	for _, p := range pkts {
+		if p.T >= window {
+			break
+		}
+		slot := int(p.T / slotT)
+		if slot >= nSlots {
+			continue
+		}
+		base := 4 * slot
+		if p.Dir == trace.Down {
+			out[base]++
+			out[base+1] += float64(p.Size)
+		} else {
+			out[base+2]++
+			out[base+3] += float64(p.Size)
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package features
+
+import (
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// NumStageAttrs is the size of the player-activity-stage feature vector:
+// downstream throughput, downstream packet rate, upstream throughput and
+// upstream packet rate, each as an EMA-smoothed fraction of its running
+// peak (§4.3.1).
+const NumStageAttrs = 4
+
+// StageAttrNames returns the stage feature names in vector order.
+func StageAttrNames() []string {
+	return []string{"down tput rel", "down rate rel", "up tput rel", "up rate rel"}
+}
+
+// VolumetricConfig tunes the stage feature extractor.
+type VolumetricConfig struct {
+	// I is the classification slot width (1 s in the deployment; Fig 10
+	// evaluates 0.1–2 s).
+	I time.Duration
+	// Alpha is the EMA weight of the current slot (Eq 1; 0.5 deployed).
+	Alpha float64
+	// PeakFloorFrac guards the running peak: a peak is only accepted once
+	// it exceeds this fraction of the launch-window maximum, so an idle
+	// lobby at session start cannot anchor the normalization too low.
+	PeakFloorFrac float64
+}
+
+// DefaultVolumetricConfig is the deployed configuration of §4.4.2.
+func DefaultVolumetricConfig() VolumetricConfig {
+	return VolumetricConfig{I: time.Second, Alpha: 0.5, PeakFloorFrac: 0.30}
+}
+
+// StageFeatureExtractor converts a session's native volumetric slots into
+// per-I-slot stage feature vectors. It tracks the running peak of each of
+// the four volumetric attributes (above a launch-derived floor) and emits
+// peak-relative values smoothed by an exponential moving average, making the
+// features invariant to the session's absolute bitrate (§4.3.1).
+type StageFeatureExtractor struct {
+	cfg   VolumetricConfig
+	peaks [NumStageAttrs]float64
+	ema   [NumStageAttrs]float64
+	begun bool
+}
+
+// NewStageFeatureExtractor returns an extractor with the given config
+// (zero-value fields take the deployed defaults).
+func NewStageFeatureExtractor(cfg VolumetricConfig) *StageFeatureExtractor {
+	def := DefaultVolumetricConfig()
+	if cfg.I <= 0 {
+		cfg.I = def.I
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = def.Alpha
+	}
+	if cfg.PeakFloorFrac <= 0 {
+		cfg.PeakFloorFrac = def.PeakFloorFrac
+	}
+	return &StageFeatureExtractor{cfg: cfg}
+}
+
+// rawAttrs flattens a slot into the four volumetric attributes.
+func rawAttrs(s trace.Slot) [NumStageAttrs]float64 {
+	return [NumStageAttrs]float64{s.DownBytes, s.DownPkts, s.UpBytes, s.UpPkts}
+}
+
+// Push consumes one I-wide slot and returns its feature vector. The
+// returned slice is freshly allocated.
+func (e *StageFeatureExtractor) Push(slot trace.Slot) []float64 {
+	raw := rawAttrs(slot)
+	// Seed peaks from the first slot; grow them whenever exceeded.
+	for i, v := range raw {
+		if v > e.peaks[i] {
+			e.peaks[i] = v
+		}
+	}
+	out := make([]float64, NumStageAttrs)
+	for i, v := range raw {
+		rel := 0.0
+		if e.peaks[i] > 0 {
+			rel = v / e.peaks[i]
+		}
+		if !e.begun {
+			e.ema[i] = rel
+		} else {
+			e.ema[i] = e.cfg.Alpha*rel + (1-e.cfg.Alpha)*e.ema[i]
+		}
+		out[i] = e.ema[i]
+	}
+	e.begun = true
+	return out
+}
+
+// ExtractStageFeatures is the batch form: it rebins native slots to width I,
+// skips the launch window (the paper classifies stages only during
+// gameplay), and returns one feature vector and ground-truth stage label per
+// I-slot. The extractor's running peak is nevertheless warmed up on the
+// launch slots, mirroring the "threshold dynamically decided during the game
+// launch" of §4.3.1.
+func ExtractStageFeatures(slots []trace.Slot, launchEnd time.Duration, cfg VolumetricConfig) (X [][]float64, stages []trace.Stage) {
+	e := NewStageFeatureExtractor(cfg)
+	re := trace.Rebin(slots, e.cfg.I)
+	launchSlots := int(launchEnd / e.cfg.I)
+	for i, s := range re {
+		v := e.Push(s)
+		if i < launchSlots || s.Stage == trace.StageLaunch {
+			continue
+		}
+		X = append(X, v)
+		stages = append(stages, s.Stage)
+	}
+	return X, stages
+}
+
+// TransitionMatrix accumulates the per-slot stage transition counts of a
+// session (§4.3.2): a 3×3 matrix over (idle, active, passive) counting, for
+// each consecutive pair of classified slots, the move from one stage to
+// another or its retention.
+type TransitionMatrix struct {
+	counts [3][3]float64
+	prev   trace.Stage
+	begun  bool
+	total  float64
+}
+
+// stageIndex maps gameplay stages to matrix indices.
+func stageIndex(s trace.Stage) int {
+	switch s {
+	case trace.StageIdle:
+		return 0
+	case trace.StageActive:
+		return 1
+	case trace.StagePassive:
+		return 2
+	}
+	return -1
+}
+
+// TransitionAttrNames returns the nine attribute names in vector order
+// (from-to over idle/active/passive), matching Table 5.
+func TransitionAttrNames() []string {
+	names := make([]string, 0, 9)
+	ss := [3]string{"idle", "active", "passive"}
+	for _, from := range ss {
+		for _, to := range ss {
+			names = append(names, from+"->"+to)
+		}
+	}
+	return names
+}
+
+// Push records one classified stage slot.
+func (m *TransitionMatrix) Push(s trace.Stage) {
+	i := stageIndex(s)
+	if i < 0 {
+		return
+	}
+	if m.begun {
+		m.counts[stageIndex(m.prev)][i]++
+		m.total++
+	}
+	m.prev = s
+	m.begun = true
+}
+
+// Total returns the number of recorded transitions.
+func (m *TransitionMatrix) Total() float64 { return m.total }
+
+// Probabilities returns the 9 transition counts normalized to probabilities
+// across all cells — the attribute vector of the gameplay-activity-pattern
+// classifier (§4.3.2).
+func (m *TransitionMatrix) Probabilities() []float64 {
+	out := make([]float64, 9)
+	if m.total == 0 {
+		return out
+	}
+	k := 0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out[k] = m.counts[i][j] / m.total
+			k++
+		}
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"sort"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/qoe"
+	"gamelens/internal/trace"
+)
+
+// TitleAggregate is the per-title roll-up behind Fig 11(a), 12(a), 13(a).
+type TitleAggregate struct {
+	Title    gamesim.TitleID
+	Sessions int
+	// MeanStageMinutes is the average per-session minutes spent in each
+	// classified stage (Fig 11a).
+	MeanStageMinutes [trace.NumStages]float64
+	// Throughputs holds the per-session mean downstream Mbps, sorted
+	// (Fig 12a box ranges).
+	Throughputs []float64
+	// ObjectiveShare and EffectiveShare are session fractions per QoE
+	// level (Fig 13a).
+	ObjectiveShare [qoe.NumLevels]float64
+	EffectiveShare [qoe.NumLevels]float64
+}
+
+// PatternAggregate is the same roll-up for long-tail sessions grouped by
+// inferred gameplay activity pattern (Fig 11b, 12b, 13b).
+type PatternAggregate struct {
+	Pattern          gamesim.Pattern
+	Sessions         int
+	MeanStageMinutes [trace.NumStages]float64
+	Throughputs      []float64
+	ObjectiveShare   [qoe.NumLevels]float64
+	EffectiveShare   [qoe.NumLevels]float64
+}
+
+// Validation is the §5 field-validation summary: online title classification
+// vs offline server logs.
+type Validation struct {
+	// CatalogSessions is how many sessions played catalog titles.
+	CatalogSessions int
+	// KnownResults is how many of those the classifier labeled confidently.
+	KnownResults int
+	// Correct is how many confident labels matched the server log.
+	Correct int
+	// PatternSessions / PatternCorrect validate the pattern inference on
+	// long-tail sessions.
+	PatternSessions int
+	PatternCorrect  int
+}
+
+// TitleAccuracy returns the confident-label accuracy.
+func (v Validation) TitleAccuracy() float64 {
+	if v.KnownResults == 0 {
+		return 0
+	}
+	return float64(v.Correct) / float64(v.KnownResults)
+}
+
+// PatternAccuracy returns the long-tail pattern accuracy.
+func (v Validation) PatternAccuracy() float64 {
+	if v.PatternSessions == 0 {
+		return 0
+	}
+	return float64(v.PatternCorrect) / float64(v.PatternSessions)
+}
+
+// AggregateByTitle rolls catalog-title sessions up per *classified* title
+// (unknown-title sessions are skipped), the view the operator sees online.
+func AggregateByTitle(records []*SessionRecord) []*TitleAggregate {
+	byTitle := map[gamesim.TitleID]*TitleAggregate{}
+	for _, r := range records {
+		if !r.TitleResult.Known {
+			continue
+		}
+		agg := byTitle[r.TitleResult.Title]
+		if agg == nil {
+			agg = &TitleAggregate{Title: r.TitleResult.Title}
+			byTitle[r.TitleResult.Title] = agg
+		}
+		agg.Sessions++
+		for st := range r.StageMinutes {
+			agg.MeanStageMinutes[st] += r.StageMinutes[st]
+		}
+		agg.Throughputs = append(agg.Throughputs, r.MeanDownMbps)
+		agg.ObjectiveShare[r.Objective]++
+		agg.EffectiveShare[r.Effective]++
+	}
+	out := make([]*TitleAggregate, 0, len(byTitle))
+	for _, agg := range byTitle {
+		n := float64(agg.Sessions)
+		for st := range agg.MeanStageMinutes {
+			agg.MeanStageMinutes[st] /= n
+		}
+		for l := range agg.ObjectiveShare {
+			agg.ObjectiveShare[l] /= n
+			agg.EffectiveShare[l] /= n
+		}
+		sort.Float64s(agg.Throughputs)
+		out = append(out, agg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Title < out[j].Title })
+	return out
+}
+
+// AggregateByPattern rolls the sessions the classifier could NOT name (the
+// long tail) up by inferred gameplay activity pattern.
+func AggregateByPattern(records []*SessionRecord) []*PatternAggregate {
+	aggs := [gamesim.NumPatterns]*PatternAggregate{}
+	for p := range aggs {
+		aggs[p] = &PatternAggregate{Pattern: gamesim.Pattern(p)}
+	}
+	for _, r := range records {
+		if r.TitleResult.Known {
+			continue
+		}
+		agg := aggs[r.PatternResult.Pattern]
+		agg.Sessions++
+		for st := range r.StageMinutes {
+			agg.MeanStageMinutes[st] += r.StageMinutes[st]
+		}
+		agg.Throughputs = append(agg.Throughputs, r.MeanDownMbps)
+		agg.ObjectiveShare[r.Objective]++
+		agg.EffectiveShare[r.Effective]++
+	}
+	out := make([]*PatternAggregate, 0, len(aggs))
+	for _, agg := range aggs {
+		if agg.Sessions == 0 {
+			out = append(out, agg)
+			continue
+		}
+		n := float64(agg.Sessions)
+		for st := range agg.MeanStageMinutes {
+			agg.MeanStageMinutes[st] /= n
+		}
+		for l := range agg.ObjectiveShare {
+			agg.ObjectiveShare[l] /= n
+			agg.EffectiveShare[l] /= n
+		}
+		sort.Float64s(agg.Throughputs)
+		out = append(out, agg)
+	}
+	return out
+}
+
+// Validate compares the online classifications against the ground truth (the
+// offline server logs of §5).
+func Validate(records []*SessionRecord) Validation {
+	var v Validation
+	for _, r := range records {
+		if r.InCatalog {
+			v.CatalogSessions++
+			if r.TitleResult.Known {
+				v.KnownResults++
+				if r.TitleResult.Title == r.Title.ID {
+					v.Correct++
+				}
+			}
+		} else {
+			v.PatternSessions++
+			if r.PatternResult.Pattern == r.Pattern {
+				v.PatternCorrect++
+			}
+		}
+	}
+	return v
+}
+
+// Percentile returns the p-quantile (0..1) of a sorted slice.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,210 @@
+// Package fleet simulates the paper's §5 field deployment: a population of
+// cloud-game streaming sessions drawn from the Table 1 popularity mix (plus
+// the long-tail of titles outside the catalog), played over a spread of
+// access-network conditions, measured by the trained classification pipeline
+// in real time, and validated against the "server log" ground truth that is
+// only available offline. Its aggregations regenerate Fig 11, Fig 12 and
+// Fig 13 and the §5 field-validation accuracy.
+package fleet
+
+import (
+	"math/rand"
+	"time"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/qoe"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/titleclass"
+	"gamelens/internal/trace"
+)
+
+// Config sizes and seeds a deployment run.
+type Config struct {
+	// Sessions is the number of streaming sessions to simulate.
+	Sessions int
+	// LongTailFrac is the fraction of sessions playing titles outside the
+	// top-13 catalog (Table 1: the catalog covers ~69% of playtime).
+	LongTailFrac float64
+	// ImpairedFrac is the fraction of sessions on degraded access paths
+	// (high RTT, loss, or bandwidth caps).
+	ImpairedFrac float64
+	// SessionLength fixes session lengths for speed; 0 draws per-title
+	// realistic lengths (Fig 11 durations).
+	SessionLength time.Duration
+	// Seed drives the population sampling.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 500
+	}
+	if c.LongTailFrac < 0 || c.LongTailFrac >= 1 {
+		c.LongTailFrac = 0
+	} else if c.LongTailFrac == 0 {
+		c.LongTailFrac = 0.31
+	}
+	if c.ImpairedFrac <= 0 {
+		c.ImpairedFrac = 0.12
+	}
+	return c
+}
+
+// SessionRecord is the per-session outcome of the deployment: what the
+// pipeline measured online, and the offline ground truth used for
+// validation and aggregation.
+type SessionRecord struct {
+	// Ground truth ("server log", available only offline in the paper).
+	Title     gamesim.Title
+	InCatalog bool
+	Pattern   gamesim.Pattern
+	Config    gamesim.ClientConfig
+	Net       gamesim.NetworkConditions
+
+	// Online measurements.
+	TitleResult   titleclass.Result
+	PatternResult stageclass.PatternResult
+	PatternKnown  bool
+
+	// Stage minutes as classified online (launch excluded), indexed by
+	// trace.Stage.
+	StageMinutes [trace.NumStages]float64
+	// TrueStageMinutes from the ground-truth timeline.
+	TrueStageMinutes [trace.NumStages]float64
+
+	// MeanDownMbps is the session-average downstream throughput (Fig 12).
+	MeanDownMbps float64
+	// Objective and Effective are the session QoE grades before and after
+	// context calibration (Fig 13). Effective uses the *classified*
+	// contexts, as deployed.
+	Objective qoe.Level
+	Effective qoe.Level
+	// DurationMinutes is the session length.
+	DurationMinutes float64
+}
+
+// Deployment runs sessions through the trained models one at a time
+// (sessions are generated, measured, reduced to a SessionRecord, and
+// discarded).
+type Deployment struct {
+	cfg    Config
+	titles *titleclass.Classifier
+	stages *stageclass.Classifier
+}
+
+// New builds a deployment around trained classifiers.
+func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Deployment {
+	return &Deployment{cfg: cfg.withDefaults(), titles: titles, stages: stages}
+}
+
+// sampleNetwork draws access-path conditions: mostly healthy fixed-line or
+// 5G paths, with an impaired tail.
+func sampleNetwork(rng *rand.Rand, impairedFrac float64) gamesim.NetworkConditions {
+	if rng.Float64() >= impairedFrac {
+		return gamesim.NetworkConditions{
+			RTT:      time.Duration(4+rng.Intn(18)) * time.Millisecond,
+			Jitter:   time.Duration(200+rng.Intn(900)) * time.Microsecond,
+			LossRate: rng.Float64() * 0.002,
+		}
+	}
+	// Impaired: one of laggy / lossy / starved (or a combination).
+	n := gamesim.NetworkConditions{
+		RTT:      time.Duration(10+rng.Intn(20)) * time.Millisecond,
+		Jitter:   time.Duration(1+rng.Intn(4)) * time.Millisecond,
+		LossRate: rng.Float64() * 0.004,
+	}
+	switch rng.Intn(3) {
+	case 0:
+		n.RTT = time.Duration(110+rng.Intn(150)) * time.Millisecond
+	case 1:
+		n.LossRate = 0.02 + rng.Float64()*0.05
+	default:
+		n.BandwidthMbps = 3 + rng.Float64()*6
+	}
+	return n
+}
+
+// Run simulates the deployment and returns one record per session.
+func (d *Deployment) Run() []*SessionRecord {
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	out := make([]*SessionRecord, 0, d.cfg.Sessions)
+	for i := 0; i < d.cfg.Sessions; i++ {
+		var title gamesim.Title
+		if rng.Float64() < d.cfg.LongTailFrac {
+			title = gamesim.GenericTitle(int64(rng.Intn(4000)))
+		} else {
+			title = gamesim.TitleByID(gamesim.RandomTitle(rng))
+		}
+		cfg := gamesim.RandomConfig(rng)
+		net := sampleNetwork(rng, d.cfg.ImpairedFrac)
+		s := gamesim.GenerateTitle(title, cfg, net, d.cfg.Seed+int64(i)*6007+11, gamesim.Options{
+			SessionLength: d.cfg.SessionLength,
+		})
+		out = append(out, d.measure(s))
+	}
+	return out
+}
+
+// measure runs the full online pipeline over one session.
+func (d *Deployment) measure(s *gamesim.Session) *SessionRecord {
+	rec := &SessionRecord{
+		Title:           s.Title,
+		InCatalog:       s.Title.IsCatalog(),
+		Pattern:         s.Title.Pattern,
+		Config:          s.Config,
+		Net:             s.Net,
+		MeanDownMbps:    s.MeanDownMbps(),
+		DurationMinutes: s.Duration().Minutes(),
+	}
+	// Title classification from the launch window.
+	rec.TitleResult = d.titles.Classify(s.Launch)
+
+	// Continuous stage tracking and pattern inference.
+	vol := d.stages.Config().Volumetric
+	tracker := d.stages.NewTracker(s.LaunchEnd())
+	re := trace.Rebin(s.Slots, vol.I)
+	qos := qoe.EstimateSessionQoS(s, vol.I)
+
+	// Demand context for effective QoE: classified title when known, else
+	// the pattern-level default once inferred (pattern inference arrives
+	// mid-session; earlier slots are graded with generic demand 1.0 —
+	// matching what an operator can know at that moment).
+	demand := 1.0
+	if rec.TitleResult.Known {
+		demand = gamesim.TitleByID(rec.TitleResult.Title).Demand
+	}
+	var objective, effective []qoe.Level
+	for k, slot := range re {
+		sr := tracker.Push(slot)
+		if sr.Stage != trace.StageLaunch {
+			rec.StageMinutes[sr.Stage] += vol.I.Minutes()
+		}
+		if !rec.TitleResult.Known {
+			if pr, ok := tracker.Pattern(); ok {
+				demand = qoe.PatternDemand(pr.Pattern)
+			}
+		}
+		if k < len(qos) {
+			objective = append(objective, qoe.Objective(qos[k]))
+			effective = append(effective, qoe.Effective(qos[k], qoe.Context{
+				Demand: demand, Stage: sr.Stage,
+				// Streaming-settings detection is prior work [32]; the
+				// deployment consumes it as a given.
+				SettingsMbps: s.PeakDownMbps,
+				SettingsFPS:  float64(s.Config.FPS),
+			}))
+		}
+	}
+	if pr, ok := tracker.Pattern(); ok {
+		rec.PatternResult = pr
+		rec.PatternKnown = true
+	} else {
+		rec.PatternResult = tracker.ForcePattern()
+	}
+	for _, sp := range s.Spans {
+		rec.TrueStageMinutes[sp.Stage] += sp.Duration().Minutes()
+	}
+	rec.Objective = qoe.SessionLevel(objective)
+	rec.Effective = qoe.SessionLevel(effective)
+	return rec
+}

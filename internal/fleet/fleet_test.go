@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/qoe"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/titleclass"
+	"gamelens/internal/trace"
+)
+
+// trainedModels trains small-but-real classifiers once for the package.
+var (
+	modelsOnce sync.Once
+	titleModel *titleclass.Classifier
+	stageModel *stageclass.Classifier
+)
+
+func models(t testing.TB) (*titleclass.Classifier, *stageclass.Classifier) {
+	t.Helper()
+	modelsOnce.Do(func() {
+		rng := rand.New(rand.NewSource(400))
+		var train []*gamesim.Session
+		for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
+			for i := 0; i < 4; i++ {
+				cfg := gamesim.RandomConfig(rng)
+				train = append(train, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
+					400+int64(id)*977+int64(i), gamesim.Options{SessionLength: 25 * time.Minute}))
+			}
+		}
+		var err error
+		titleModel, err = titleclass.Train(train, titleclass.Config{
+			Forest: mlkit.ForestConfig{NumTrees: 60, MaxDepth: 10}, Seed: 41,
+		})
+		if err != nil {
+			panic(err)
+		}
+		stageModel, err = stageclass.Train(train, stageclass.Config{
+			StageForest:   mlkit.ForestConfig{NumTrees: 40, MaxDepth: 10},
+			PatternForest: mlkit.ForestConfig{NumTrees: 40, MaxDepth: 10},
+			Seed:          43,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return titleModel, stageModel
+}
+
+func runSmallFleet(t testing.TB, sessions int, seed int64) []*SessionRecord {
+	t.Helper()
+	tm, sm := models(t)
+	d := New(Config{
+		Sessions:      sessions,
+		SessionLength: 12 * time.Minute,
+		Seed:          seed,
+	}, tm, sm)
+	return d.Run()
+}
+
+func TestDeploymentRecordsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 60, 1)
+	if len(records) != 60 {
+		t.Fatalf("%d records", len(records))
+	}
+	catalog, longTail := 0, 0
+	for _, r := range records {
+		if r.InCatalog {
+			catalog++
+		} else {
+			longTail++
+		}
+		if r.DurationMinutes <= 0 || r.MeanDownMbps <= 0 {
+			t.Fatalf("degenerate record: %+v", r)
+		}
+		var mins float64
+		for _, m := range r.StageMinutes {
+			mins += m
+		}
+		if mins <= 0 {
+			t.Fatal("no classified stage minutes")
+		}
+	}
+	if catalog == 0 || longTail == 0 {
+		t.Errorf("population mix degenerate: %d catalog, %d long-tail", catalog, longTail)
+	}
+	if float64(longTail)/float64(len(records)) < 0.15 {
+		t.Errorf("long-tail fraction too small: %d/%d", longTail, len(records))
+	}
+}
+
+func TestFieldValidationAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 80, 3)
+	v := Validate(records)
+	if v.CatalogSessions == 0 {
+		t.Fatal("no catalog sessions")
+	}
+	// §5: field title accuracy ~95% on confident labels. Allow slack for
+	// the small fleet.
+	if acc := v.TitleAccuracy(); acc < 0.85 {
+		t.Errorf("field title accuracy = %.3f, want >= 0.85", acc)
+	}
+	if frac := float64(v.KnownResults) / float64(v.CatalogSessions); frac < 0.7 {
+		t.Errorf("only %.2f of catalog sessions confidently labeled", frac)
+	}
+}
+
+func TestLongTailSessionsMostlyUnknown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 80, 5)
+	unknownOfLongTail, longTail := 0, 0
+	for _, r := range records {
+		if !r.InCatalog {
+			longTail++
+			if !r.TitleResult.Known {
+				unknownOfLongTail++
+			}
+		}
+	}
+	if longTail == 0 {
+		t.Fatal("no long-tail sessions")
+	}
+	if frac := float64(unknownOfLongTail) / float64(longTail); frac < 0.6 {
+		t.Errorf("only %.2f of long-tail sessions labeled unknown (confidence gate too lax)", frac)
+	}
+}
+
+func TestAggregateByTitleShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 80, 7)
+	aggs := AggregateByTitle(records)
+	if len(aggs) == 0 {
+		t.Fatal("no title aggregates")
+	}
+	for _, a := range aggs {
+		var objSum, effSum float64
+		for l := 0; l < qoe.NumLevels; l++ {
+			objSum += a.ObjectiveShare[l]
+			effSum += a.EffectiveShare[l]
+		}
+		if objSum < 0.999 || objSum > 1.001 || effSum < 0.999 || effSum > 1.001 {
+			t.Fatalf("%v: shares do not sum to 1 (%v, %v)", a.Title, objSum, effSum)
+		}
+		if a.MeanStageMinutes[trace.StageLaunch] != 0 {
+			t.Errorf("%v: launch minutes leaked into stage aggregate", a.Title)
+		}
+	}
+}
+
+func TestEffectiveQoEImprovesOnObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	// The Fig 13 shape: effective QoE must grade substantially more
+	// sessions good than objective QoE, without upgrading genuinely
+	// impaired sessions on laggy/lossy paths.
+	records := runSmallFleet(t, 100, 9)
+	objGood, effGood := 0, 0
+	for _, r := range records {
+		if r.Objective == qoe.Good {
+			objGood++
+		}
+		if r.Effective == qoe.Good {
+			effGood++
+		}
+		if r.Effective != qoe.Bad {
+			if r.Net.RTT > 110*time.Millisecond || r.Net.LossRate > 0.02 {
+				t.Errorf("laggy/lossy session (%v rtt, %.3f loss) graded %v effective",
+					r.Net.RTT, r.Net.LossRate, r.Effective)
+			}
+		}
+	}
+	if effGood <= objGood {
+		t.Errorf("effective good %d <= objective good %d; calibration had no effect", effGood, objGood)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	if Percentile(s, 0) != 1 || Percentile(s, 1) != 5 || Percentile(s, 0.5) != 3 {
+		t.Error("percentile wrong")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestGenericTitleDeterministic(t *testing.T) {
+	a := gamesim.GenericTitle(42)
+	b := gamesim.GenericTitle(42)
+	if a.Name != b.Name || a.Pattern != b.Pattern || a.Demand != b.Demand {
+		t.Error("GenericTitle not deterministic")
+	}
+	if a.IsCatalog() {
+		t.Error("generic title claims catalog membership")
+	}
+	if gamesim.TitleByID(gamesim.Fortnite).IsCatalog() != true {
+		t.Error("catalog title not recognized")
+	}
+	c := gamesim.GenericTitle(43)
+	if c.Name == a.Name {
+		t.Error("different seeds share a name")
+	}
+}
+
+func TestAggregateByPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 80, 11)
+	aggs := AggregateByPattern(records)
+	if len(aggs) != gamesim.NumPatterns {
+		t.Fatalf("%d pattern aggregates", len(aggs))
+	}
+	total := 0
+	for _, a := range aggs {
+		total += a.Sessions
+	}
+	unknown := 0
+	for _, r := range records {
+		if !r.TitleResult.Known {
+			unknown++
+		}
+	}
+	if total != unknown {
+		t.Errorf("pattern aggregates cover %d sessions, want %d unknown-title sessions", total, unknown)
+	}
+}

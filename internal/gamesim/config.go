@@ -1,0 +1,209 @@
+package gamesim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Device is the client hardware class (Table 2).
+type Device int
+
+// Device classes of the lab setup.
+const (
+	DevicePC Device = iota
+	DeviceMobile
+	DeviceTV
+	DeviceConsole
+)
+
+// String names the device class.
+func (d Device) String() string {
+	switch d {
+	case DevicePC:
+		return "PC"
+	case DeviceMobile:
+		return "Mobile"
+	case DeviceTV:
+		return "TV"
+	case DeviceConsole:
+		return "Console"
+	default:
+		return fmt.Sprintf("device(%d)", int(d))
+	}
+}
+
+// OS is the client operating system (Table 2).
+type OS int
+
+// Operating systems of the lab setup.
+const (
+	OSWindows OS = iota
+	OSMacOS
+	OSAndroid
+	OSiOS
+	OSAndroidTV
+	OSXbox
+)
+
+// String names the OS.
+func (o OS) String() string {
+	switch o {
+	case OSWindows:
+		return "Windows"
+	case OSMacOS:
+		return "macOS"
+	case OSAndroid:
+		return "Android"
+	case OSiOS:
+		return "iOS"
+	case OSAndroidTV:
+		return "AndroidTV"
+	case OSXbox:
+		return "Xbox"
+	default:
+		return fmt.Sprintf("os(%d)", int(o))
+	}
+}
+
+// Software is the client application type.
+type Software int
+
+// Application types.
+const (
+	NativeApp Software = iota
+	Browser
+)
+
+// String names the software type.
+func (s Software) String() string {
+	if s == Browser {
+		return "Browser"
+	}
+	return "Native app"
+}
+
+// Resolution is the streaming graphics resolution tier.
+type Resolution int
+
+// Resolution tiers, lowest to highest.
+const (
+	ResSD Resolution = iota
+	ResHD
+	ResFHD
+	ResQHD
+	ResUHD
+)
+
+// String names the resolution tier.
+func (r Resolution) String() string {
+	switch r {
+	case ResSD:
+		return "SD"
+	case ResHD:
+		return "HD"
+	case ResFHD:
+		return "FHD"
+	case ResQHD:
+		return "QHD"
+	case ResUHD:
+		return "UHD"
+	default:
+		return fmt.Sprintf("res(%d)", int(r))
+	}
+}
+
+// baseMbps is the nominal downstream bitrate of an active gameplay stream at
+// demand factor 1 and 60 fps, per resolution tier. The Fig 12 clusters
+// (8–18, 20–30, 35–47 Mbps for Destiny 2, up to ~68 Mbps for high-demand
+// titles at top settings) emerge from these bases times the per-title demand
+// factor and the fps factor.
+var baseMbps = map[Resolution]float64{
+	ResSD:  6,
+	ResHD:  12,
+	ResFHD: 22,
+	ResQHD: 32,
+	ResUHD: 46,
+}
+
+// ClientConfig is one user configuration row of the lab dataset: device, OS,
+// application, and streaming settings.
+type ClientConfig struct {
+	Device     Device
+	OS         OS
+	Software   Software
+	Resolution Resolution
+	FPS        int // 30–120
+}
+
+// String renders the config compactly.
+func (c ClientConfig) String() string {
+	return fmt.Sprintf("%s/%s/%s %s%d", c.Device, c.OS, c.Software, c.Resolution, c.FPS)
+}
+
+// PeakDownMbps is the nominal downstream bitrate for an active stream of
+// title t under this configuration.
+func (c ClientConfig) PeakDownMbps(t Title) float64 {
+	fpsFactor := 0.55 + 0.45*float64(c.FPS)/60.0 // 30fps≈0.78, 60fps=1, 120fps≈1.45
+	swFactor := 1.0
+	if c.Software == Browser {
+		swFactor = 0.92 // browser clients cap slightly below native apps
+	}
+	return baseMbps[c.Resolution] * fpsFactor * swFactor * t.Demand
+}
+
+// LabProfile is one row of Table 2: a device/OS/software combination, its
+// admissible resolution range, and how many sessions / how much playtime the
+// lab collected with it.
+type LabProfile struct {
+	Device             Device
+	OS                 OS
+	Software           Software
+	MinRes, MaxRes     Resolution
+	Sessions           int
+	PlaytimeHours      float64
+	FPSChoices         []int
+	SessionMinutesMean float64
+}
+
+// LabProfiles returns the eight rows of Table 2. Session counts and playtime
+// match the paper (531 sessions, 67 hours total).
+func LabProfiles() []LabProfile {
+	return []LabProfile{
+		{DevicePC, OSWindows, NativeApp, ResSD, ResUHD, 89, 10.9, []int{30, 60, 120}, 7.3},
+		{DevicePC, OSWindows, Browser, ResSD, ResQHD, 60, 6.8, []int{30, 60, 120}, 6.8},
+		{DevicePC, OSMacOS, NativeApp, ResSD, ResUHD, 76, 10.5, []int{30, 60, 120}, 8.3},
+		{DevicePC, OSMacOS, Browser, ResSD, ResQHD, 61, 7.7, []int{30, 60, 120}, 7.6},
+		{DeviceMobile, OSAndroid, NativeApp, ResFHD, ResQHD, 73, 9.1, []int{30, 60, 120}, 7.5},
+		{DeviceMobile, OSiOS, Browser, ResSD, ResFHD, 70, 8.8, []int{30, 60, 120}, 7.5},
+		{DeviceTV, OSAndroidTV, NativeApp, ResSD, ResFHD, 48, 6.1, []int{30, 60, 120}, 7.6},
+		{DeviceConsole, OSXbox, Browser, ResSD, ResFHD, 54, 7.1, []int{30, 60, 120}, 7.9},
+	}
+}
+
+// NetworkConditions models the access-path quality between the client and
+// the cloud gaming server. The lab baseline is near-ideal (§3.1): <10 ms
+// latency, <0.1% loss, ~1 Gbps.
+type NetworkConditions struct {
+	// RTT is the base round-trip time.
+	RTT time.Duration
+	// Jitter is the standard deviation of per-packet one-way delay noise.
+	Jitter time.Duration
+	// LossRate is the independent packet loss probability in [0,1).
+	LossRate float64
+	// BandwidthMbps caps the downstream rate; 0 means uncapped.
+	BandwidthMbps float64
+}
+
+// LabNetwork returns the near-ideal lab conditions of §3.1.
+func LabNetwork() NetworkConditions {
+	return NetworkConditions{RTT: 8 * time.Millisecond, Jitter: 500 * time.Microsecond, LossRate: 0.0005}
+}
+
+// Impaired reports whether conditions are bad enough to visibly degrade a
+// stream needing needMbps: lossy, high-latency, or bandwidth-starved paths.
+func (n NetworkConditions) Impaired(needMbps float64) bool {
+	if n.BandwidthMbps > 0 && n.BandwidthMbps < needMbps {
+		return true
+	}
+	return n.RTT > 60*time.Millisecond || n.LossRate > 0.01
+}

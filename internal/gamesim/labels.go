@@ -1,0 +1,168 @@
+package gamesim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// SessionLabels is the parsed content of a label sidecar (WriteLabelsCSV):
+// the session's ground-truth metadata and stage timeline.
+type SessionLabels struct {
+	TitleName  string
+	Genre      string
+	Pattern    Pattern
+	Device     string
+	OS         string
+	Software   string
+	Resolution string
+	FPS        int
+	Spans      []trace.Span
+}
+
+// ReadLabelsCSV parses a label sidecar.
+func ReadLabelsCSV(r io.Reader) (*SessionLabels, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gamesim: reading labels: %w", err)
+	}
+	out := &SessionLabels{}
+	for _, row := range rows {
+		if len(row) < 2 {
+			continue
+		}
+		key, val := row[0], row[1]
+		if st, err := trace.ParseStage(key); err == nil {
+			parts := strings.Split(val, ",")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("gamesim: stage row %q: want start,end", val)
+			}
+			start, err1 := strconv.ParseFloat(parts[0], 64)
+			end, err2 := strconv.ParseFloat(parts[1], 64)
+			if err1 != nil || err2 != nil || end < start {
+				return nil, fmt.Errorf("gamesim: stage row %q: bad time range", val)
+			}
+			out.Spans = append(out.Spans, trace.Span{
+				Stage: st,
+				Start: time.Duration(start * float64(time.Second)),
+				End:   time.Duration(end * float64(time.Second)),
+			})
+			continue
+		}
+		switch key {
+		case "title":
+			out.TitleName = val
+		case "genre":
+			out.Genre = val
+		case "pattern":
+			if val == ContinuousPlay.String() {
+				out.Pattern = ContinuousPlay
+			} else {
+				out.Pattern = SpectateAndPlay
+			}
+		case "device":
+			out.Device = val
+		case "os":
+			out.OS = val
+		case "software":
+			out.Software = val
+		case "resolution":
+			out.Resolution = val
+		case "fps":
+			out.FPS, _ = strconv.Atoi(val)
+		}
+	}
+	if out.TitleName == "" {
+		return nil, fmt.Errorf("gamesim: labels missing title")
+	}
+	if len(out.Spans) == 0 {
+		return nil, fmt.Errorf("gamesim: labels missing stage timeline")
+	}
+	return out, nil
+}
+
+// LoadLabeledSession rebuilds a Session from a capture and its label
+// sidecar, the format produced by cmd/gensessions and by the paper's
+// released dataset: the packet stream becomes the launch window and the
+// native volumetric series, the labels provide the ground truth. Sessions
+// rebuilt this way can be fed to the training functions exactly like
+// generated ones. serverPort identifies the cloud server's UDP port
+// (gamesim.ServerPort for exported captures).
+func LoadLabeledSession(pcap io.Reader, labels io.Reader, serverPort uint16) (*Session, error) {
+	lab, err := ReadLabelsCSV(labels)
+	if err != nil {
+		return nil, err
+	}
+	title, ok := TitleByName(lab.TitleName)
+	if !ok {
+		// Unknown titles load as generic entries keyed by name hash so
+		// long-tail captures can still drive pattern training.
+		title = GenericTitle(int64(hashString(lab.TitleName)))
+		title.Name = lab.TitleName
+		title.Pattern = lab.Pattern
+	}
+	pkts, err := ReadPCAPPackets(pcap, serverPort)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkts) == 0 {
+		return nil, fmt.Errorf("gamesim: capture holds no packets")
+	}
+	launchEnd := lab.Spans[0].End
+	sessionEnd := lab.Spans[len(lab.Spans)-1].End
+
+	// Rebuild the native volumetric series across the labeled duration; the
+	// capture may cover only a prefix.
+	captureEnd := pkts[len(pkts)-1].T
+	end := sessionEnd
+	if captureEnd < end {
+		end = captureEnd + trace.SlotDuration
+	}
+	nSlots := int(end / trace.SlotDuration)
+	if nSlots < 1 {
+		nSlots = 1
+	}
+	slots := make([]trace.Slot, nSlots)
+	var launch []trace.Pkt
+	var peakBytes float64
+	for _, p := range pkts {
+		if p.T <= launchEnd {
+			launch = append(launch, p)
+		}
+		idx := int(p.T / trace.SlotDuration)
+		if idx >= 0 && idx < nSlots {
+			slots[idx].Add(p.Dir, p.Size)
+		}
+	}
+	for i := range slots {
+		ts := time.Duration(i) * trace.SlotDuration
+		slots[i].Stage = trace.StageAt(lab.Spans, ts)
+		if slots[i].DownBytes > peakBytes {
+			peakBytes = slots[i].DownBytes
+		}
+	}
+	return &Session{
+		Title:        title,
+		Spans:        lab.Spans,
+		Launch:       launch,
+		Slots:        slots,
+		PeakDownMbps: peakBytes * 8 / trace.SlotDuration.Seconds() / 1e6,
+	}, nil
+}
+
+// hashString is a small FNV-1a for stable generic-title seeds.
+func hashString(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,213 @@
+package gamesim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"time"
+
+	"gamelens/internal/packet"
+	"gamelens/internal/pcapio"
+	"gamelens/internal/trace"
+)
+
+// Wire-format conventions for exported sessions: a GeForce NOW-style RTP/UDP
+// stream between a cloud server and a client behind the access gateway.
+var (
+	serverAddr = netip.AddrFrom4([4]byte{203, 0, 113, 10})
+	clientAddr = netip.AddrFrom4([4]byte{192, 168, 1, 50})
+)
+
+const (
+	// ServerPort is within NVIDIA's published GeForce NOW UDP range.
+	ServerPort uint16 = 49004
+	// ClientPort is an arbitrary ephemeral client port.
+	ClientPort uint16 = 54321
+
+	videoPayloadType = 96
+	inputPayloadType = 97
+)
+
+// ExpandPackets converts a session into a full payload-record stream: the
+// detailed launch window as-is, then packets synthesized from the 100 ms
+// volumetric slots (evenly spaced within each slot, sizes matching the slot
+// aggregate). limit truncates the expansion; 0 expands the whole session.
+func (s *Session) ExpandPackets(limit time.Duration) []trace.Pkt {
+	if limit <= 0 || limit > s.Duration() {
+		limit = s.Duration()
+	}
+	var out []trace.Pkt
+	// The launch packet view hands over to the slot view at the last whole
+	// native slot inside the launch stage, so the two never overlap.
+	startSlot := int(s.LaunchEnd() / trace.SlotDuration)
+	launchCut := time.Duration(startSlot) * trace.SlotDuration
+	for _, p := range s.Launch {
+		if p.T >= limit || p.T >= launchCut {
+			break
+		}
+		out = append(out, p)
+	}
+	endSlot := int(limit / trace.SlotDuration)
+	if endSlot > len(s.Slots) {
+		endSlot = len(s.Slots)
+	}
+	for i := startSlot; i < endSlot; i++ {
+		sl := s.Slots[i]
+		base := time.Duration(i) * trace.SlotDuration
+		slotStart := len(out)
+		emitEven(&out, base, trace.Down, int(sl.DownPkts), sl.DownBytes)
+		emitEven(&out, base, trace.Up, int(sl.UpPkts), sl.UpBytes)
+		// Interleave the directions by timestamp within the slot.
+		sort.Slice(out[slotStart:], func(a, b int) bool {
+			return out[slotStart+a].T < out[slotStart+b].T
+		})
+	}
+	return out
+}
+
+// emitEven appends n packets of total bytes, evenly spaced across one native
+// slot starting at base.
+func emitEven(out *[]trace.Pkt, base time.Duration, dir trace.Direction, n int, totalBytes float64) {
+	if n <= 0 {
+		return
+	}
+	size := int(totalBytes / float64(n))
+	if size < 40 {
+		size = 40
+	}
+	if size > MaxPayload {
+		size = MaxPayload
+	}
+	step := trace.SlotDuration / time.Duration(n)
+	for k := 0; k < n; k++ {
+		*out = append(*out, trace.Pkt{T: base + time.Duration(k)*step + step/2, Dir: dir, Size: size})
+	}
+}
+
+// WritePCAP serializes the session (up to limit; 0 = all) as an Ethernet
+// PCAP of RTP/UDP frames on GeForce NOW ports, the shape a capture at the
+// lab's access gateway has (§3.1). start anchors the capture timestamps.
+func (s *Session) WritePCAP(w io.Writer, start time.Time, limit time.Duration) error {
+	pw, err := pcapio.NewWriter(w, pcapio.LinkTypeEthernet, 65535)
+	if err != nil {
+		return err
+	}
+	pkts := s.ExpandPackets(limit)
+	var seqDown, seqUp uint16
+	var buf []byte
+	payload := make([]byte, MaxPayload)
+	serverMAC := packet.MAC{0x02, 0x00, 0x5e, 0x10, 0x00, 0x01}
+	clientMAC := packet.MAC{0x02, 0x00, 0x5e, 0x20, 0x00, 0x02}
+	for _, p := range pkts {
+		var rtp packet.RTP
+		var eth packet.Ethernet
+		var ip packet.IPv4
+		var udp packet.UDP
+		ts90k := uint32(p.T * 90000 / time.Second)
+		if p.Dir == trace.Down {
+			seqDown++
+			rtp = packet.RTP{PayloadType: videoPayloadType, SeqNumber: seqDown, Timestamp: ts90k, SSRC: 0x47464e01}
+			eth = packet.Ethernet{Dst: clientMAC, Src: serverMAC, Type: packet.EtherTypeIPv4}
+			ip = packet.IPv4{TTL: 58, Protocol: packet.ProtoUDP, Src: serverAddr, Dst: clientAddr, DontFrag: true}
+			udp = packet.UDP{SrcPort: ServerPort, DstPort: ClientPort}
+		} else {
+			seqUp++
+			rtp = packet.RTP{PayloadType: inputPayloadType, SeqNumber: seqUp, Timestamp: ts90k, SSRC: 0x47464e02}
+			eth = packet.Ethernet{Dst: serverMAC, Src: clientMAC, Type: packet.EtherTypeIPv4}
+			ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: clientAddr, Dst: serverAddr, DontFrag: true}
+			udp = packet.UDP{SrcPort: ClientPort, DstPort: ServerPort}
+		}
+		body := p.Size - packet.RTPHeaderLen
+		if body < 0 {
+			body = 0
+		}
+		rtpBytes := rtp.AppendTo(buf[:0], payload[:body])
+		udpBytes := udp.AppendTo(nil, rtpBytes, ip.Src, ip.Dst)
+		frame := ip.AppendTo(eth.AppendTo(nil), udpBytes)
+		if err := pw.WriteRecord(start.Add(p.T), len(frame), frame); err != nil {
+			return err
+		}
+		buf = rtpBytes
+	}
+	return pw.Flush()
+}
+
+// WriteLabelsCSV writes the ground-truth label sidecar the released dataset
+// ships per PCAP (Appendix B): session metadata rows followed by one row per
+// stage span.
+func (s *Session) WriteLabelsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{
+		{"field", "value"},
+		{"title", s.Title.Name},
+		{"genre", s.Title.Genre.String()},
+		{"pattern", s.Title.Pattern.String()},
+		{"device", s.Config.Device.String()},
+		{"os", s.Config.OS.String()},
+		{"software", s.Config.Software.String()},
+		{"resolution", s.Config.Resolution.String()},
+		{"fps", strconv.Itoa(s.Config.FPS)},
+		{"stage", "start_s,end_s"},
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	for _, sp := range s.Spans {
+		err := cw.Write([]string{
+			sp.Stage.String(),
+			fmt.Sprintf("%.3f,%.3f", sp.Start.Seconds(), sp.End.Seconds()),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadPCAPPackets reads a PCAP written by WritePCAP (or any capture of a
+// single cloud-game streaming flow) back into payload records relative to
+// the first packet's timestamp. The downstream direction is the one sourced
+// from serverPort.
+func ReadPCAPPackets(r io.Reader, serverPort uint16) ([]trace.Pkt, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Pkt
+	var dec packet.Decoded
+	var t0 time.Time
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := packet.Decode(rec.Data, &dec); err != nil {
+			continue // tolerate non-IP frames in mixed captures
+		}
+		if !dec.HasUDP {
+			continue
+		}
+		if t0.IsZero() {
+			t0 = rec.Timestamp
+		}
+		dir := trace.Up
+		if dec.SrcPort() == serverPort {
+			dir = trace.Down
+		}
+		out = append(out, trace.Pkt{
+			T:    rec.Timestamp.Sub(t0),
+			Dir:  dir,
+			Size: len(dec.Payload),
+		})
+	}
+	return out, nil
+}

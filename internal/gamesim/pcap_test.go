@@ -1,0 +1,256 @@
+package gamesim
+
+import (
+	"bytes"
+	"encoding/csv"
+
+	"strings"
+	"testing"
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+func testSession(t *testing.T) *Session {
+	t.Helper()
+	cfg := ClientConfig{Device: DevicePC, OS: OSWindows, Resolution: ResFHD, FPS: 60}
+	return Generate(RocketLeague, cfg, LabNetwork(), 71, Options{SessionLength: 3 * time.Minute})
+}
+
+func TestExpandPacketsCoversSession(t *testing.T) {
+	s := testSession(t)
+	pkts := s.ExpandPackets(0)
+	if len(pkts) == 0 {
+		t.Fatal("no packets")
+	}
+	last := pkts[0].T
+	for _, p := range pkts[1:] {
+		if p.T < last-time.Millisecond { // launch/slot boundary jitter only
+			t.Fatalf("timestamps regress: %v after %v", p.T, last)
+		}
+		if p.T > last {
+			last = p.T
+		}
+	}
+	if last < s.Duration()-2*time.Second {
+		t.Errorf("expansion ends at %v for a %v session", last, s.Duration())
+	}
+	// Byte conservation vs the slot series (post-launch part).
+	var slotBytes, pktBytes float64
+	launchEnd := s.LaunchEnd()
+	startSlot := int(launchEnd / trace.SlotDuration)
+	for i := startSlot; i < len(s.Slots); i++ {
+		slotBytes += s.Slots[i].DownBytes
+	}
+	for _, p := range pkts {
+		if p.Dir == trace.Down && p.T >= time.Duration(startSlot)*trace.SlotDuration {
+			pktBytes += float64(p.Size)
+		}
+	}
+	if ratio := pktBytes / slotBytes; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("expanded bytes/slot bytes = %.3f, want ~1", ratio)
+	}
+}
+
+func TestExpandPacketsLimit(t *testing.T) {
+	s := testSession(t)
+	pkts := s.ExpandPackets(10 * time.Second)
+	for _, p := range pkts {
+		if p.T > 10*time.Second+time.Second {
+			t.Fatalf("packet at %v beyond limit", p.T)
+		}
+	}
+}
+
+func TestPCAPRoundTrip(t *testing.T) {
+	s := testSession(t)
+	var buf bytes.Buffer
+	start := time.Date(2025, 3, 2, 8, 0, 0, 0, time.UTC)
+	if err := s.WritePCAP(&buf, start, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPCAPPackets(bytes.NewReader(buf.Bytes()), ServerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.ExpandPackets(15 * time.Second)
+	if len(got) != len(want) {
+		t.Fatalf("%d packets read, %d written", len(got), len(want))
+	}
+	down, up := 0, 0
+	for i, p := range got {
+		if p.Size != want[i].Size {
+			t.Fatalf("packet %d size %d, want %d", i, p.Size, want[i].Size)
+		}
+		if p.Dir != want[i].Dir {
+			t.Fatalf("packet %d direction mismatch", i)
+		}
+		if p.Dir == trace.Down {
+			down++
+		} else {
+			up++
+		}
+	}
+	if down == 0 || up == 0 {
+		t.Errorf("directions degenerate: %d down, %d up", down, up)
+	}
+}
+
+func TestReadPCAPPacketsRejectsGarbage(t *testing.T) {
+	if _, err := ReadPCAPPackets(strings.NewReader("not a pcap"), ServerPort); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteLabelsCSV(t *testing.T) {
+	s := testSession(t)
+	var buf bytes.Buffer
+	if err := s.WriteLabelsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := map[string]string{}
+	stageRows := 0
+	for _, row := range rows[1:] {
+		switch row[0] {
+		case "launch", "idle", "active", "passive":
+			stageRows++
+			if !strings.Contains(row[1], ",") {
+				t.Fatalf("stage row without time range: %v", row)
+			}
+		default:
+			if len(row) == 2 {
+				meta[row[0]] = row[1]
+			}
+		}
+	}
+	if meta["title"] != "Rocket League" {
+		t.Errorf("title = %q", meta["title"])
+	}
+	if meta["pattern"] != "spectate-and-play" {
+		t.Errorf("pattern = %q", meta["pattern"])
+	}
+	if stageRows != len(s.Spans) {
+		t.Errorf("%d stage rows for %d spans", stageRows, len(s.Spans))
+	}
+}
+
+func TestWritePCAPTimestampsAnchored(t *testing.T) {
+	s := testSession(t)
+	var buf bytes.Buffer
+	start := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := s.WritePCAP(&buf, start, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The reader returns offsets from the first packet; independently check
+	// the raw header carries the 2030 epoch.
+	pkts, err := ReadPCAPPackets(bytes.NewReader(buf.Bytes()), ServerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) == 0 {
+		t.Fatal("no packets")
+	}
+	if pkts[len(pkts)-1].T > 3*time.Second {
+		t.Errorf("relative offsets wrong: last at %v", pkts[len(pkts)-1].T)
+	}
+}
+
+func TestExpandPacketsEmptySlotLimit(t *testing.T) {
+	s := testSession(t)
+	if pkts := s.ExpandPackets(time.Nanosecond); len(pkts) != 0 {
+		// A nanosecond of session: at most a handful of launch packets.
+		for _, p := range pkts {
+			if p.T > time.Nanosecond {
+				t.Fatal("packet beyond limit")
+			}
+		}
+	}
+}
+
+func TestLoadLabeledSessionRoundTrip(t *testing.T) {
+	s := testSession(t)
+	var pcap, labels bytes.Buffer
+	start := time.Date(2025, 4, 1, 10, 0, 0, 0, time.UTC)
+	if err := s.WritePCAP(&pcap, start, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteLabelsCSV(&labels); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLabeledSession(&pcap, &labels, ServerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title.ID != s.Title.ID {
+		t.Errorf("title = %v, want %v", got.Title.ID, s.Title.ID)
+	}
+	if len(got.Spans) != len(s.Spans) {
+		t.Fatalf("%d spans, want %d", len(got.Spans), len(s.Spans))
+	}
+	if d := got.LaunchEnd() - s.LaunchEnd(); d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("launch end %v, want %v (CSV stores milliseconds)", got.LaunchEnd(), s.LaunchEnd())
+	}
+	if len(got.Launch) == 0 {
+		t.Fatal("no launch packets recovered")
+	}
+	// Volumetric series should carry comparable volume.
+	var a, b float64
+	for _, sl := range s.Slots {
+		a += sl.DownBytes
+	}
+	for _, sl := range got.Slots {
+		b += sl.DownBytes
+	}
+	if ratio := b / a; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("recovered/original bytes = %.3f", ratio)
+	}
+	if got.PeakDownMbps <= 0 {
+		t.Error("no peak estimate")
+	}
+}
+
+func TestLoadLabeledSessionUnknownTitle(t *testing.T) {
+	s := testSession(t)
+	var pcap, labels bytes.Buffer
+	if err := s.WritePCAP(&pcap, time.Now(), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := s.WriteLabelsCSV(&raw); err != nil {
+		t.Fatal(err)
+	}
+	labels.WriteString(strings.Replace(raw.String(), "Rocket League", "Obscure Indie Game", 1))
+	got, err := LoadLabeledSession(&pcap, &labels, ServerPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title.IsCatalog() {
+		t.Error("unknown title mapped into the catalog")
+	}
+	if got.Title.Name != "Obscure Indie Game" {
+		t.Errorf("name = %q", got.Title.Name)
+	}
+	if got.Title.Pattern != s.Title.Pattern {
+		t.Error("pattern label lost")
+	}
+}
+
+func TestReadLabelsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"field,value\ntitle,X\n",        // no stages
+		"field,value\nactive,\"1.0\"\n", // bad range
+		"field,value\nactive,\"5.0,1.0\"\ntitle,X", // end < start
+	}
+	for i, s := range cases {
+		if _, err := ReadLabelsCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package gamesim
+
+import (
+	"math/rand"
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// Session is one generated cloud-game streaming session: its ground truth
+// (title, configuration, network conditions, stage timeline) plus two views
+// of its traffic — the detailed packet records of the launch window and the
+// native-granularity volumetric series of the whole session.
+type Session struct {
+	Title  Title
+	Config ClientConfig
+	Net    NetworkConditions
+	Seed   int64
+
+	// Spans is the ground-truth stage timeline.
+	Spans []trace.Span
+	// Launch holds detailed payload records covering at least the launch
+	// stage (both directions), for title classification.
+	Launch []trace.Pkt
+	// Slots is the 100 ms volumetric series of the whole session, with the
+	// launch window overlaid from Launch so both views agree.
+	Slots []trace.Slot
+	// PeakDownMbps is the nominal active-stage downstream bitrate.
+	PeakDownMbps float64
+}
+
+// Options tunes session generation.
+type Options struct {
+	// SessionLength fixes the session length; 0 draws one around the
+	// title's catalog mean.
+	SessionLength time.Duration
+	// LaunchDetail extends the detailed packet window beyond the launch
+	// stage (it is always at least the launch-stage length).
+	LaunchDetail time.Duration
+}
+
+// Generate builds one session of catalog title id under cfg and net,
+// deterministic in seed.
+func Generate(id TitleID, cfg ClientConfig, net NetworkConditions, seed int64, opts Options) *Session {
+	return GenerateTitle(TitleByID(id), cfg, net, seed, opts)
+}
+
+// GenerateTitle builds one session of an arbitrary Title — catalog entries
+// or the synthetic long-tail titles of GenericTitle.
+func GenerateTitle(t Title, cfg ClientConfig, net NetworkConditions, seed int64, opts Options) *Session {
+	rng := rand.New(rand.NewSource(seed))
+
+	length := opts.SessionLength
+	if length <= 0 {
+		// Lognormal-ish spread around the catalog mean, clamped to
+		// [25%, 250%] of it.
+		f := 1 + 0.45*rng.NormFloat64()
+		if f < 0.25 {
+			f = 0.25
+		}
+		if f > 2.5 {
+			f = 2.5
+		}
+		length = time.Duration(t.MeanSessionMinutes * f * float64(time.Minute))
+	}
+
+	spans := GenerateStages(t, length, rng)
+	launchEnd := spans[0].End
+	detail := opts.LaunchDetail
+	if detail < launchEnd {
+		detail = launchEnd
+	}
+	sessionEnd := spans[len(spans)-1].End
+	if detail > sessionEnd {
+		detail = sessionEnd
+	}
+
+	launch := GenerateLaunch(t, cfg, net, rng, detail)
+	peak := cfg.PeakDownMbps(t)
+	slots := GenerateSlots(t, peak, net, spans, rng)
+	OverlayLaunchPackets(slots, launch, launchEnd)
+
+	return &Session{
+		Title:        t,
+		Config:       cfg,
+		Net:          net,
+		Seed:         seed,
+		Spans:        spans,
+		Launch:       launch,
+		Slots:        slots,
+		PeakDownMbps: peak,
+	}
+}
+
+// Duration returns the session length.
+func (s *Session) Duration() time.Duration {
+	if len(s.Spans) == 0 {
+		return 0
+	}
+	return s.Spans[len(s.Spans)-1].End
+}
+
+// LaunchEnd returns when the launch stage finishes.
+func (s *Session) LaunchEnd() time.Duration {
+	if len(s.Spans) == 0 {
+		return 0
+	}
+	return s.Spans[0].End
+}
+
+// MeanDownMbps returns the session's mean downstream throughput, the
+// per-session figure aggregated in Fig 12.
+func (s *Session) MeanDownMbps() float64 {
+	if len(s.Slots) == 0 {
+		return 0
+	}
+	var bytes float64
+	for _, sl := range s.Slots {
+		bytes += sl.DownBytes
+	}
+	secs := float64(len(s.Slots)) * trace.SlotDuration.Seconds()
+	return bytes * 8 / secs / 1e6
+}
+
+// RandomConfig draws a client configuration uniformly from a Table 2 lab
+// profile row chosen proportionally to its session count.
+func RandomConfig(rng *rand.Rand) ClientConfig {
+	profiles := LabProfiles()
+	total := 0
+	for _, p := range profiles {
+		total += p.Sessions
+	}
+	pick := rng.Intn(total)
+	var prof LabProfile
+	for _, p := range profiles {
+		if pick < p.Sessions {
+			prof = p
+			break
+		}
+		pick -= p.Sessions
+	}
+	res := prof.MinRes + Resolution(rng.Intn(int(prof.MaxRes-prof.MinRes)+1))
+	fps := prof.FPSChoices[rng.Intn(len(prof.FPSChoices))]
+	return ClientConfig{
+		Device:     prof.Device,
+		OS:         prof.OS,
+		Software:   prof.Software,
+		Resolution: res,
+		FPS:        fps,
+	}
+}
+
+// RandomTitle draws a title proportionally to catalog popularity.
+func RandomTitle(rng *rand.Rand) TitleID {
+	var total float64
+	for _, t := range catalog {
+		total += t.Popularity
+	}
+	pick := rng.Float64() * total
+	for _, t := range catalog {
+		if pick < t.Popularity {
+			return t.ID
+		}
+		pick -= t.Popularity
+	}
+	return catalog[len(catalog)-1].ID
+}
+
+// LabDataset generates the equivalent of the paper's lab capture: for every
+// Table 2 profile row, its session count with titles cycling through the
+// catalog so every title appears under every profile. Sessions are kept
+// short by default (opts.SessionLength) since the lab experiments only need
+// the launch window plus enough gameplay for stage statistics.
+func LabDataset(seed int64, opts Options) []*Session {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*Session
+	i := 0
+	for _, prof := range LabProfiles() {
+		for s := 0; s < prof.Sessions; s++ {
+			id := TitleID(i % int(NumTitles))
+			i++
+			res := prof.MinRes + Resolution(rng.Intn(int(prof.MaxRes-prof.MinRes)+1))
+			cfg := ClientConfig{
+				Device:     prof.Device,
+				OS:         prof.OS,
+				Software:   prof.Software,
+				Resolution: res,
+				FPS:        prof.FPSChoices[rng.Intn(len(prof.FPSChoices))],
+			}
+			out = append(out, Generate(id, cfg, LabNetwork(), seed+int64(i)*977, opts))
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package gamesim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"gamelens/internal/trace"
+)
+
+// stageProfile is the relative bidirectional volumetric level of one player
+// activity stage (§3.3, Fig 4). Downstream levels are fractions of the
+// session's peak bitrate; upstream levels are fractions of the peak input
+// packet rate. The *relative* ordering — active ≳ passive ≫ idle downstream,
+// active ≫ passive > idle upstream — is what the stage classifier learns; it
+// holds across titles and configurations.
+type stageProfile struct {
+	down        float64 // fraction of peak downstream bitrate
+	up          float64 // fraction of peak upstream packet rate
+	downWobble  float64 // relative amplitude of slow oscillation
+	avgPktBytes float64 // mean downstream payload size in this stage
+}
+
+var stageProfiles = map[trace.Stage]stageProfile{
+	trace.StageLaunch:  {down: 0.35, up: 0.05, downWobble: 0.10, avgPktBytes: 1150},
+	trace.StageIdle:    {down: 0.12, up: 0.10, downWobble: 0.18, avgPktBytes: 700},
+	trace.StageActive:  {down: 1.00, up: 1.00, downWobble: 0.08, avgPktBytes: 1250},
+	trace.StagePassive: {down: 0.88, up: 0.22, downWobble: 0.10, avgPktBytes: 1230},
+}
+
+// peakUpPPS is the upstream input-update packet rate during active combat
+// (mouse/keyboard/touch updates), before per-config scaling.
+const peakUpPPS = 125.0
+
+// upPayloadBytes is the typical upstream input payload size.
+const upPayloadBytes = 95.0
+
+// GenerateSlots produces the native-granularity volumetric series of a
+// session: one trace.Slot per 100 ms covering all spans. peakMbps is the
+// active-stage downstream bitrate (cfg.PeakDownMbps); network conditions cap
+// and thin the series the way a constrained path would.
+func GenerateSlots(t Title, peakMbps float64, net NetworkConditions, spans []trace.Span, rng *rand.Rand) []trace.Slot {
+	if len(spans) == 0 {
+		return nil
+	}
+	total := spans[len(spans)-1].End
+	n := int(total / trace.SlotDuration)
+	slots := make([]trace.Slot, n)
+
+	// Slow per-session oscillation: scene complexity drifting over tens of
+	// seconds, shared across stages.
+	oscFreq := 0.02 + rng.Float64()*0.05 // Hz
+	oscPhase := rng.Float64() * 2 * math.Pi
+
+	// AR(1) noise for short-term variation.
+	ar := 0.0
+	const arCoef = 0.85
+
+	capMbps := math.Inf(1)
+	if net.BandwidthMbps > 0 {
+		capMbps = net.BandwidthMbps
+	}
+	lossFactor := 1 - net.LossRate
+
+	sec := trace.SlotDuration.Seconds()
+	for i := range slots {
+		ts := float64(i) * sec
+		st := trace.StageAt(spans, time.Duration(ts*float64(time.Second)))
+		p := stageProfiles[st]
+
+		ar = arCoef*ar + (1-arCoef)*rng.NormFloat64()
+		osc := 1 + p.downWobble*math.Sin(2*math.Pi*oscFreq*ts+oscPhase)
+		noise := 1 + 0.06*ar
+
+		mbps := peakMbps * p.down * osc * noise
+		if mbps > capMbps {
+			mbps = capMbps * (0.92 + 0.05*rng.Float64()) // congested path hovers under the cap
+		}
+		if mbps < 0.05 {
+			mbps = 0.05
+		}
+		mbps *= lossFactor
+
+		bytes := mbps * 1e6 / 8 * sec
+		slots[i].DownBytes = bytes
+		slots[i].DownPkts = math.Round(bytes / p.avgPktBytes)
+		if slots[i].DownPkts < 1 {
+			slots[i].DownPkts = 1
+		}
+
+		upPPS := peakUpPPS * p.up * (1 + 0.12*rng.NormFloat64())
+		if upPPS < 1 {
+			upPPS = 1
+		}
+		slots[i].UpPkts = math.Round(upPPS * sec)
+		if slots[i].UpPkts < 0 {
+			slots[i].UpPkts = 0
+		}
+		slots[i].UpBytes = slots[i].UpPkts * upPayloadBytes * (1 + 0.05*rng.NormFloat64())
+		if slots[i].UpBytes < 0 {
+			slots[i].UpBytes = 0
+		}
+		slots[i].Stage = st
+	}
+	return slots
+}
+
+// OverlayLaunchPackets replaces the launch-window slots with aggregates of
+// the actual launch packet trace so the volumetric series and the
+// packet-level view of a session agree.
+func OverlayLaunchPackets(slots []trace.Slot, pkts []trace.Pkt, launchEnd time.Duration) {
+	nLaunch := int(launchEnd / trace.SlotDuration)
+	if nLaunch > len(slots) {
+		nLaunch = len(slots)
+	}
+	for i := 0; i < nLaunch; i++ {
+		st := slots[i].Stage
+		slots[i] = trace.Slot{Stage: st}
+	}
+	for _, p := range pkts {
+		idx := int(p.T / trace.SlotDuration)
+		if idx < 0 || idx >= nLaunch {
+			continue
+		}
+		slots[idx].Add(p.Dir, p.Size)
+	}
+}

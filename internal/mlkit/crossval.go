@@ -1,0 +1,44 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossValidate runs stratified k-fold cross validation, fitting a fresh
+// model per fold with fit, and returns the per-fold accuracies.
+func CrossValidate(d *Dataset, k int, seed int64, fit func(train *Dataset) (Classifier, error)) ([]float64, error) {
+	trains, tests, err := KFold(d, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]float64, k)
+	for f := range trains {
+		model, err := fit(trains[f])
+		if err != nil {
+			return nil, fmt.Errorf("mlkit: fold %d: %w", f, err)
+		}
+		accs[f] = Evaluate(model, tests[f]).Accuracy()
+	}
+	return accs, nil
+}
+
+// MeanStd summarizes per-fold accuracies.
+func MeanStd(values []float64) (mean, std float64) {
+	n := float64(len(values))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= n
+	for _, v := range values {
+		d := v - mean
+		std += d * d
+	}
+	if n > 1 {
+		std /= n - 1
+	}
+	return mean, math.Sqrt(std)
+}

@@ -1,0 +1,155 @@
+package mlkit
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig controls random-forest training. The defaults mirror the
+// paper's tuned deployment model: 500 trees with maximum depth 10 for game
+// title classification (Appendix C.1) and 100 trees for gameplay activity
+// pattern classification (Appendix C.2).
+type ForestConfig struct {
+	// NumTrees is the ensemble size (default 100).
+	NumTrees int
+	// MaxDepth bounds each tree (0 = unbounded).
+	MaxDepth int
+	// MinSamplesLeaf is the per-leaf minimum (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 defaults to round(sqrt(numFeatures)).
+	MaxFeatures int
+	// Seed drives bootstrapping and per-tree feature subsampling.
+	Seed int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 100
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 1
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = -1 // sqrt rule inside FitTree
+	}
+	return c
+}
+
+// Forest is a random-forest classifier: bagged CART trees with per-split
+// feature subsampling, soft-voted at prediction time.
+type Forest struct {
+	Trees      []*Tree
+	numClasses int
+}
+
+// FitForest trains a random forest on d. Trees are trained concurrently but
+// the result is deterministic for a given seed.
+func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumSamples() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg = cfg.withDefaults()
+	f := &Forest{
+		Trees:      make([]*Tree, cfg.NumTrees),
+		numClasses: d.NumClasses(),
+	}
+	n := d.NumSamples()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	type job struct{ i int }
+	jobs := make(chan job)
+	errs := make(chan error, cfg.NumTrees)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// Deterministic per-tree seed, independent of scheduling.
+				seed := cfg.Seed*1_000_003 + int64(j.i)*7_919
+				rng := rand.New(rand.NewSource(seed))
+				idx := make([]int, n)
+				for k := range idx {
+					idx[k] = rng.Intn(n)
+				}
+				boot := d.Subset(idx)
+				// A bootstrap sample can miss classes entirely; pin the class
+				// count by carrying ClassNames through (NumClasses uses it)
+				// and padding the label space via numClasses-aware leaves.
+				tree, err := FitTree(boot, TreeConfig{
+					MaxDepth:       cfg.MaxDepth,
+					MinSamplesLeaf: cfg.MinSamplesLeaf,
+					MaxFeatures:    cfg.MaxFeatures,
+					Seed:           seed + 1,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("tree %d: %w", j.i, err)
+					continue
+				}
+				if tree.numClasses < f.numClasses {
+					tree.padClasses(f.numClasses)
+				}
+				f.Trees[j.i] = tree
+			}
+		}()
+	}
+	for i := 0; i < cfg.NumTrees; i++ {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// padClasses widens leaf distributions to nc classes (missing classes get
+// probability zero). Used when a bootstrap sample missed some classes.
+func (t *Tree) padClasses(nc int) {
+	for i := range t.nodes {
+		if t.nodes[i].Feature < 0 && len(t.nodes[i].Dist) < nc {
+			d := make([]float64, nc)
+			copy(d, t.nodes[i].Dist)
+			t.nodes[i].Dist = d
+		}
+	}
+	t.numClasses = nc
+}
+
+// Predict returns the soft-vote majority class.
+func (f *Forest) Predict(x []float64) int {
+	return argmax(f.PredictProba(x))
+}
+
+// PredictProba returns the mean leaf distribution across trees. The maximum
+// entry is the label confidence used for "unknown" thresholding in §4.4.1.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	probs := make([]float64, f.numClasses)
+	for _, t := range f.Trees {
+		for c, p := range t.PredictProba(x) {
+			probs[c] += p
+		}
+	}
+	inv := 1 / float64(len(f.Trees))
+	for c := range probs {
+		probs[c] *= inv
+	}
+	return probs
+}
+
+// NumClasses returns the number of classes.
+func (f *Forest) NumClasses() int { return f.numClasses }
+
+// String summarizes the forest.
+func (f *Forest) String() string {
+	return fmt.Sprintf("Forest(trees=%d, classes=%d)", len(f.Trees), f.numClasses)
+}

@@ -1,0 +1,132 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DistanceMetric selects the KNN distance function. The paper tunes the
+// number of neighbours and the distance metric (Appendix C.1).
+type DistanceMetric int
+
+// Supported distance metrics.
+const (
+	Euclidean DistanceMetric = iota
+	Manhattan
+	Chebyshev
+)
+
+// String names the metric.
+func (m DistanceMetric) String() string {
+	switch m {
+	case Euclidean:
+		return "euclidean"
+	case Manhattan:
+		return "manhattan"
+	case Chebyshev:
+		return "chebyshev"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// KNNConfig controls k-nearest-neighbour classification.
+type KNNConfig struct {
+	// K is the number of neighbours (default 5).
+	K int
+	// Metric is the distance function (default Euclidean).
+	Metric DistanceMetric
+	// Weighted enables inverse-distance vote weighting.
+	Weighted bool
+}
+
+// KNN is a brute-force k-nearest-neighbour classifier. It retains the
+// training data.
+type KNN struct {
+	cfg        KNNConfig
+	x          [][]float64
+	y          []int
+	numClasses int
+}
+
+// FitKNN stores the training set for nearest-neighbour queries.
+func FitKNN(d *Dataset, cfg KNNConfig) (*KNN, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumSamples() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.K > d.NumSamples() {
+		cfg.K = d.NumSamples()
+	}
+	return &KNN{cfg: cfg, x: d.X, y: d.Y, numClasses: d.NumClasses()}, nil
+}
+
+func (k *KNN) distance(a, b []float64) float64 {
+	switch k.cfg.Metric {
+	case Manhattan:
+		var s float64
+		for i := range a {
+			s += abs(a[i] - b[i])
+		}
+		return s
+	case Chebyshev:
+		var s float64
+		for i := range a {
+			if d := abs(a[i] - b[i]); d > s {
+				s = d
+			}
+		}
+		return s
+	default:
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+}
+
+// Predict returns the (optionally distance-weighted) majority class among
+// the K nearest neighbours of x.
+func (k *KNN) Predict(x []float64) int {
+	return argmax(k.PredictProba(x))
+}
+
+// PredictProba returns normalized neighbour votes per class.
+func (k *KNN) PredictProba(x []float64) []float64 {
+	type nb struct {
+		d float64
+		y int
+	}
+	nbs := make([]nb, len(k.x))
+	for i, row := range k.x {
+		nbs[i] = nb{k.distance(x, row), k.y[i]}
+	}
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
+	votes := make([]float64, k.numClasses)
+	var total float64
+	for i := 0; i < k.cfg.K; i++ {
+		w := 1.0
+		if k.cfg.Weighted {
+			w = 1 / (nbs[i].d + 1e-9)
+		}
+		votes[nbs[i].y] += w
+		total += w
+	}
+	if total > 0 {
+		for c := range votes {
+			votes[c] /= total
+		}
+	}
+	return votes
+}
+
+// NumClasses returns the number of classes.
+func (k *KNN) NumClasses() int { return k.numClasses }

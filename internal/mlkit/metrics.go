@@ -1,0 +1,147 @@
+package mlkit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Accuracy returns the fraction of predictions equal to the true labels.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 || len(yTrue) != len(yPred) {
+		return 0
+	}
+	correct := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(yTrue))
+}
+
+// ConfusionMatrix is a square matrix indexed [true][predicted].
+type ConfusionMatrix struct {
+	Counts     [][]int
+	ClassNames []string
+}
+
+// NewConfusionMatrix tallies predictions into a numClasses² matrix.
+func NewConfusionMatrix(yTrue, yPred []int, numClasses int, classNames []string) *ConfusionMatrix {
+	m := &ConfusionMatrix{Counts: make([][]int, numClasses), ClassNames: classNames}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, numClasses)
+	}
+	for i := range yTrue {
+		if yTrue[i] < numClasses && yPred[i] < numClasses {
+			m.Counts[yTrue[i]][yPred[i]]++
+		}
+	}
+	return m
+}
+
+// Accuracy returns overall accuracy.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for i, row := range m.Counts {
+		for j, c := range row {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns the per-class recall (the "accuracy for class c" figure the
+// paper reports per game title in Table 3 and per stage in Table 4).
+func (m *ConfusionMatrix) Recall(c int) float64 {
+	var total int
+	for _, v := range m.Counts[c] {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Counts[c][c]) / float64(total)
+}
+
+// Precision returns the per-class precision.
+func (m *ConfusionMatrix) Precision(c int) float64 {
+	var total int
+	for i := range m.Counts {
+		total += m.Counts[i][c]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Counts[c][c]) / float64(total)
+}
+
+// F1 returns the per-class F1 score.
+func (m *ConfusionMatrix) F1(c int) float64 {
+	p, r := m.Precision(c), m.Recall(c)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MacroF1 returns the unweighted mean F1 across classes.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	if len(m.Counts) == 0 {
+		return 0
+	}
+	var s float64
+	for c := range m.Counts {
+		s += m.F1(c)
+	}
+	return s / float64(len(m.Counts))
+}
+
+// String renders the matrix as an aligned text table.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	name := func(i int) string {
+		if m.ClassNames != nil && i < len(m.ClassNames) {
+			return m.ClassNames[i]
+		}
+		return fmt.Sprintf("class%d", i)
+	}
+	width := 8
+	for i := range m.Counts {
+		if len(name(i)) > width {
+			width = len(name(i))
+		}
+	}
+	fmt.Fprintf(&b, "%*s", width+2, "")
+	for j := range m.Counts {
+		fmt.Fprintf(&b, "%*s", width+2, name(j))
+	}
+	b.WriteByte('\n')
+	for i, row := range m.Counts {
+		fmt.Fprintf(&b, "%*s", width+2, name(i))
+		for _, c := range row {
+			fmt.Fprintf(&b, "%*d", width+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Evaluate runs the classifier over the dataset and returns its confusion
+// matrix.
+func Evaluate(c Classifier, d *Dataset) *ConfusionMatrix {
+	yPred := make([]int, d.NumSamples())
+	for i, x := range d.X {
+		yPred[i] = c.Predict(x)
+	}
+	nc := c.NumClasses()
+	if dn := d.NumClasses(); dn > nc {
+		nc = dn
+	}
+	return NewConfusionMatrix(d.Y, yPred, nc, d.ClassNames)
+}

@@ -1,0 +1,81 @@
+package mlkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// forestJSON is the stable on-disk representation of a Forest.
+type forestJSON struct {
+	Format     string     `json:"format"`
+	NumClasses int        `json:"num_classes"`
+	Trees      []treeJSON `json:"trees"`
+}
+
+type treeJSON struct {
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t,omitempty"`
+	Left      int       `json:"l,omitempty"`
+	Right     int       `json:"r,omitempty"`
+	Dist      []float64 `json:"d,omitempty"`
+}
+
+const forestFormat = "gamelens-forest-v1"
+
+// SaveForest writes the forest as JSON. The format is versioned so trained
+// models can be shipped alongside deployments.
+func SaveForest(w io.Writer, f *Forest) error {
+	out := forestJSON{Format: forestFormat, NumClasses: f.numClasses}
+	for _, t := range f.Trees {
+		tj := treeJSON{Nodes: make([]nodeJSON, len(t.nodes))}
+		for i, n := range t.nodes {
+			tj.Nodes[i] = nodeJSON{
+				Feature: n.Feature, Threshold: n.Threshold,
+				Left: n.Left, Right: n.Right, Dist: n.Dist,
+			}
+		}
+		out.Trees = append(out.Trees, tj)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("mlkit: encoding forest: %w", err)
+	}
+	return nil
+}
+
+// LoadForest reads a forest saved by SaveForest.
+func LoadForest(r io.Reader) (*Forest, error) {
+	var in forestJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("mlkit: decoding forest: %w", err)
+	}
+	if in.Format != forestFormat {
+		return nil, fmt.Errorf("mlkit: unknown forest format %q", in.Format)
+	}
+	if in.NumClasses <= 0 || len(in.Trees) == 0 {
+		return nil, fmt.Errorf("mlkit: forest with %d classes, %d trees", in.NumClasses, len(in.Trees))
+	}
+	f := &Forest{numClasses: in.NumClasses}
+	for ti, tj := range in.Trees {
+		t := &Tree{numClasses: in.NumClasses, nodes: make([]treeNode, len(tj.Nodes))}
+		for i, n := range tj.Nodes {
+			if n.Feature >= 0 && (n.Left <= 0 && n.Right <= 0) {
+				return nil, fmt.Errorf("mlkit: tree %d node %d: split without children", ti, i)
+			}
+			if n.Left >= len(tj.Nodes) || n.Right >= len(tj.Nodes) {
+				return nil, fmt.Errorf("mlkit: tree %d node %d: child out of range", ti, i)
+			}
+			t.nodes[i] = treeNode{
+				Feature: n.Feature, Threshold: n.Threshold,
+				Left: n.Left, Right: n.Right, Dist: n.Dist,
+			}
+		}
+		f.Trees = append(f.Trees, t)
+	}
+	return f, nil
+}

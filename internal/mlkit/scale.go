@@ -1,0 +1,88 @@
+package mlkit
+
+import "math"
+
+// StandardScaler standardizes features to zero mean and unit variance. SVM
+// and KNN are scale sensitive; the tree models are not and can skip it.
+type StandardScaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature mean and standard deviation over d.
+// Features with zero variance get Std 1 so they pass through unchanged.
+func FitScaler(d *Dataset) *StandardScaler {
+	nf := d.NumFeatures()
+	s := &StandardScaler{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	n := float64(d.NumSamples())
+	if n == 0 {
+		for j := range s.Std {
+			s.Std[j] = 1
+		}
+		return s
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *StandardScaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformDataset returns a standardized copy of d (rows are new slices).
+func (s *StandardScaler) TransformDataset(d *Dataset) *Dataset {
+	out := &Dataset{
+		X:            make([][]float64, len(d.X)),
+		Y:            d.Y,
+		FeatureNames: d.FeatureNames,
+		ClassNames:   d.ClassNames,
+	}
+	for i, row := range d.X {
+		out.X[i] = s.Transform(row)
+	}
+	return out
+}
+
+// ScaledClassifier wraps a classifier with a scaler so callers can hand raw
+// feature vectors to a model trained on standardized features.
+type ScaledClassifier struct {
+	Scaler *StandardScaler
+	Model  Classifier
+}
+
+// Predict standardizes x and delegates to the wrapped model.
+func (s *ScaledClassifier) Predict(x []float64) int {
+	return s.Model.Predict(s.Scaler.Transform(x))
+}
+
+// PredictProba standardizes x and delegates to the wrapped model.
+func (s *ScaledClassifier) PredictProba(x []float64) []float64 {
+	return s.Model.PredictProba(s.Scaler.Transform(x))
+}
+
+// NumClasses returns the wrapped model's class count.
+func (s *ScaledClassifier) NumClasses() int { return s.Model.NumClasses() }

@@ -1,0 +1,266 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KernelType selects the SVM kernel. The paper tunes the regularization
+// parameter C and the kernel type (Appendix C.1).
+type KernelType int
+
+// Supported kernels.
+const (
+	LinearKernel KernelType = iota
+	RBFKernel
+)
+
+// String names the kernel.
+func (k KernelType) String() string {
+	switch k {
+	case LinearKernel:
+		return "linear"
+	case RBFKernel:
+		return "rbf"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// SVMConfig controls support-vector-machine training.
+type SVMConfig struct {
+	// C is the soft-margin regularization parameter (default 1).
+	C float64
+	// Kernel selects linear or RBF.
+	Kernel KernelType
+	// Gamma is the RBF kernel width; 0 defaults to 1/numFeatures.
+	Gamma float64
+	// Epochs is the number of stochastic passes (default 30).
+	Epochs int
+	// Seed drives the stochastic sampling.
+	Seed int64
+}
+
+func (c SVMConfig) withDefaults(numFeatures int) SVMConfig {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Gamma <= 0 {
+		c.Gamma = 1 / float64(max(numFeatures, 1))
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 30
+	}
+	return c
+}
+
+// SVM is a one-vs-rest multiclass support vector machine trained by the
+// Pegasos stochastic sub-gradient algorithm (linear) or its kernelized
+// variant (RBF). For the dataset sizes of this system (10^2–10^4 samples,
+// ~50 features) the kernelized form is comfortably fast.
+type SVM struct {
+	cfg        SVMConfig
+	numClasses int
+
+	// Linear: one weight vector + bias per class.
+	w [][]float64
+	b []float64
+
+	// RBF: retained training set and per-class dual coefficients.
+	x     [][]float64
+	alpha [][]float64 // [class][sample], signed by label
+}
+
+// FitSVM trains a one-vs-rest SVM on d.
+func FitSVM(d *Dataset, cfg SVMConfig) (*SVM, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumSamples() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	cfg = cfg.withDefaults(d.NumFeatures())
+	s := &SVM{cfg: cfg, numClasses: d.NumClasses()}
+	switch cfg.Kernel {
+	case LinearKernel:
+		s.fitLinear(d)
+	case RBFKernel:
+		s.fitRBF(d)
+	default:
+		return nil, fmt.Errorf("mlkit: unknown kernel %v", cfg.Kernel)
+	}
+	return s, nil
+}
+
+// fitLinear runs binary Pegasos per class: minimize
+// lambda/2 ||w||^2 + mean(hinge), lambda = 1/(C·n).
+func (s *SVM) fitLinear(d *Dataset) {
+	n, nf := d.NumSamples(), d.NumFeatures()
+	lambda := 1 / (s.cfg.C * float64(n))
+	s.w = make([][]float64, s.numClasses)
+	s.b = make([]float64, s.numClasses)
+	for c := 0; c < s.numClasses; c++ {
+		rng := rand.New(rand.NewSource(s.cfg.Seed + int64(c)*101))
+		w := make([]float64, nf)
+		var b float64
+		t := 0
+		for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+			for k := 0; k < n; k++ {
+				t++
+				i := rng.Intn(n)
+				y := -1.0
+				if d.Y[i] == c {
+					y = 1.0
+				}
+				eta := 1 / (lambda * float64(t))
+				margin := y * (dot(w, d.X[i]) + b)
+				scale := 1 - eta*lambda
+				if scale < 0 {
+					scale = 0
+				}
+				for j := range w {
+					w[j] *= scale
+				}
+				if margin < 1 {
+					for j := range w {
+						w[j] += eta * y * d.X[i][j]
+					}
+					b += eta * y
+				}
+			}
+		}
+		s.w[c] = w
+		s.b[c] = b
+	}
+}
+
+// fitRBF runs kernelized Pegasos per class, keeping dual coefficients.
+func (s *SVM) fitRBF(d *Dataset) {
+	n := d.NumSamples()
+	lambda := 1 / (s.cfg.C * float64(n))
+	s.x = d.X
+	s.alpha = make([][]float64, s.numClasses)
+	// Precompute the kernel matrix once; shared across the per-class runs.
+	gram := make([][]float64, n)
+	for i := range gram {
+		gram[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			k := s.rbf(d.X[i], d.X[j])
+			gram[i][j] = k
+			gram[j][i] = k
+		}
+	}
+	for c := 0; c < s.numClasses; c++ {
+		rng := rand.New(rand.NewSource(s.cfg.Seed + int64(c)*211))
+		counts := make([]float64, n) // number of margin violations per sample
+		t := 0
+		for epoch := 0; epoch < s.cfg.Epochs; epoch++ {
+			for k := 0; k < n; k++ {
+				t++
+				i := rng.Intn(n)
+				yi := -1.0
+				if d.Y[i] == c {
+					yi = 1.0
+				}
+				// f(x_i) = (1/(lambda·t)) Σ_j counts[j]·y_j·K(x_j, x_i)
+				var f float64
+				for j, cj := range counts {
+					if cj == 0 {
+						continue
+					}
+					yj := -1.0
+					if d.Y[j] == c {
+						yj = 1.0
+					}
+					f += cj * yj * gram[j][i]
+				}
+				f /= lambda * float64(t)
+				if yi*f < 1 {
+					counts[i]++
+				}
+			}
+		}
+		// Fold the final 1/(lambda·T) factor into signed alphas.
+		alpha := make([]float64, n)
+		inv := 1 / (lambda * float64(t))
+		for j, cj := range counts {
+			yj := -1.0
+			if d.Y[j] == c {
+				yj = 1.0
+			}
+			alpha[j] = cj * yj * inv
+		}
+		s.alpha[c] = alpha
+	}
+}
+
+func (s *SVM) rbf(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-s.cfg.Gamma * d2)
+}
+
+// decision returns the per-class decision values for x.
+func (s *SVM) decision(x []float64) []float64 {
+	out := make([]float64, s.numClasses)
+	switch s.cfg.Kernel {
+	case LinearKernel:
+		for c := range out {
+			out[c] = dot(s.w[c], x) + s.b[c]
+		}
+	case RBFKernel:
+		for c := range out {
+			var f float64
+			for j, a := range s.alpha[c] {
+				if a != 0 {
+					f += a * s.rbf(s.x[j], x)
+				}
+			}
+			out[c] = f
+		}
+	}
+	return out
+}
+
+// Predict returns the class with the largest decision value.
+func (s *SVM) Predict(x []float64) int {
+	return argmax(s.decision(x))
+}
+
+// PredictProba squashes decision values through a softmax; the result is a
+// confidence proxy, not a calibrated probability.
+func (s *SVM) PredictProba(x []float64) []float64 {
+	dec := s.decision(x)
+	maxV := dec[argmax(dec)]
+	var sum float64
+	for i, v := range dec {
+		dec[i] = math.Exp(v - maxV)
+		sum += dec[i]
+	}
+	for i := range dec {
+		dec[i] /= sum
+	}
+	return dec
+}
+
+// NumClasses returns the number of classes.
+func (s *SVM) NumClasses() int { return s.numClasses }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,290 @@
+package mlkit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Classifier is the interface shared by every model in the kit. Predict
+// returns the most likely class of x; PredictProba returns a probability
+// (or probability-like confidence) per class summing to 1.
+type Classifier interface {
+	Predict(x []float64) int
+	PredictProba(x []float64) []float64
+	NumClasses() int
+}
+
+// TreeConfig controls CART training.
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum number of samples in a leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features examined per split; 0 means all
+	// features (plain CART); -1 means round(sqrt(numFeatures)) as used inside
+	// random forests.
+	MaxFeatures int
+	// Seed drives the per-split feature subsampling.
+	Seed int64
+}
+
+type treeNode struct {
+	// Feature is the split feature index, or -1 for a leaf.
+	Feature   int
+	Threshold float64
+	// Left and Right index into Tree.nodes. Samples with
+	// x[Feature] <= Threshold go left.
+	Left, Right int
+	// Dist is the class distribution at the node (leaves only).
+	Dist []float64
+}
+
+// Tree is a CART decision-tree classifier with Gini impurity splits.
+type Tree struct {
+	nodes      []treeNode
+	numClasses int
+}
+
+// FitTree trains a CART tree on d.
+func FitTree(d *Dataset, cfg TreeConfig) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.NumSamples() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	if cfg.MinSamplesLeaf <= 0 {
+		cfg.MinSamplesLeaf = 1
+	}
+	nf := d.NumFeatures()
+	maxFeat := cfg.MaxFeatures
+	switch {
+	case maxFeat == 0 || maxFeat > nf:
+		maxFeat = nf
+	case maxFeat < 0:
+		maxFeat = int(math.Round(math.Sqrt(float64(nf))))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	t := &Tree{numClasses: d.NumClasses()}
+	b := &treeBuilder{
+		d:       d,
+		cfg:     cfg,
+		maxFeat: maxFeat,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		tree:    t,
+		feats:   make([]int, nf),
+	}
+	for i := range b.feats {
+		b.feats[i] = i
+	}
+	idx := make([]int, d.NumSamples())
+	for i := range idx {
+		idx[i] = i
+	}
+	b.build(idx, 0)
+	return t, nil
+}
+
+type treeBuilder struct {
+	d       *Dataset
+	cfg     TreeConfig
+	maxFeat int
+	rng     *rand.Rand
+	tree    *Tree
+	feats   []int
+}
+
+// build grows the subtree over sample indices idx and returns its node index.
+func (b *treeBuilder) build(idx []int, depth int) int {
+	dist := make([]float64, b.tree.numClasses)
+	for _, i := range idx {
+		dist[b.d.Y[i]]++
+	}
+	pure := false
+	for _, c := range dist {
+		if c == float64(len(idx)) {
+			pure = true
+			break
+		}
+	}
+	nodeID := len(b.tree.nodes)
+	if pure || len(idx) < 2*b.cfg.MinSamplesLeaf ||
+		(b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return b.leaf(dist, len(idx))
+	}
+	feat, thr, ok := b.bestSplit(idx, dist)
+	if !ok {
+		return b.leaf(dist, len(idx))
+	}
+	// Partition idx in place.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if b.d.X[idx[lo]][feat] <= thr {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	if lo == 0 || lo == len(idx) {
+		return b.leaf(dist, len(idx))
+	}
+	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: feat, Threshold: thr})
+	left := b.build(idx[:lo], depth+1)
+	right := b.build(idx[lo:], depth+1)
+	b.tree.nodes[nodeID].Left = left
+	b.tree.nodes[nodeID].Right = right
+	return nodeID
+}
+
+func (b *treeBuilder) leaf(dist []float64, n int) int {
+	for i := range dist {
+		dist[i] /= float64(n)
+	}
+	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: -1, Dist: dist})
+	return len(b.tree.nodes) - 1
+}
+
+// bestSplit scans a random subset of features for the Gini-optimal threshold.
+func (b *treeBuilder) bestSplit(idx []int, total []float64) (feat int, thr float64, ok bool) {
+	n := float64(len(idx))
+	parentGini := gini(total, n)
+	bestGain := 1e-12
+	// Choose candidate features without replacement.
+	b.rng.Shuffle(len(b.feats), func(i, j int) { b.feats[i], b.feats[j] = b.feats[j], b.feats[i] })
+	cand := b.feats[:b.maxFeat]
+
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	leftDist := make([]float64, b.tree.numClasses)
+	for _, f := range cand {
+		for i, s := range idx {
+			vals[i] = b.d.X[s][f]
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool { return vals[order[i]] < vals[order[j]] })
+		for i := range leftDist {
+			leftDist[i] = 0
+		}
+		nLeft := 0.0
+		minLeaf := float64(b.cfg.MinSamplesLeaf)
+		for k := 0; k < len(order)-1; k++ {
+			s := idx[order[k]]
+			leftDist[b.d.Y[s]]++
+			nLeft++
+			v, next := vals[order[k]], vals[order[k+1]]
+			if v == next {
+				continue // cannot split between equal values
+			}
+			nRight := n - nLeft
+			if nLeft < minLeaf || nRight < minLeaf {
+				continue
+			}
+			gl := giniPartial(leftDist, nLeft)
+			gr := giniPartialRight(total, leftDist, nRight)
+			gain := parentGini - (nLeft*gl+nRight*gr)/n
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = v + (next-v)/2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// gini computes the Gini impurity of a class-count vector with n samples.
+func gini(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range counts {
+		p := c / n
+		s += p * p
+	}
+	return 1 - s
+}
+
+func giniPartial(counts []float64, n float64) float64 { return gini(counts, n) }
+
+// giniPartialRight computes the Gini impurity of total-left without
+// materializing the slice.
+func giniPartialRight(total, left []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := range total {
+		p := (total[i] - left[i]) / n
+		s += p * p
+	}
+	return 1 - s
+}
+
+// Predict returns the majority class of the leaf x falls into.
+func (t *Tree) Predict(x []float64) int {
+	return argmax(t.PredictProba(x))
+}
+
+// PredictProba returns the class distribution of the leaf x falls into.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	i := 0
+	for {
+		n := &t.nodes[i]
+		if n.Feature < 0 {
+			return n.Dist
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// NumClasses returns the number of classes the tree was trained with.
+func (t *Tree) NumClasses() int { return t.numClasses }
+
+// NumNodes returns the number of nodes in the tree.
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree (a lone leaf has depth 0).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int) int
+	walk = func(i int) int {
+		n := &t.nodes[i]
+		if n.Feature < 0 {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+func argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree(nodes=%d, depth=%d, classes=%d)", t.NumNodes(), t.Depth(), t.numClasses)
+}

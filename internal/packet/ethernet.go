@@ -1,0 +1,68 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EtherType identifies the protocol carried by an Ethernet frame.
+type EtherType uint16
+
+// EtherType values understood by this package.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeIPv6 EtherType = 0x86DD
+	EtherTypeARP  EtherType = 0x0806
+)
+
+// String returns the conventional name of the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeIPv6:
+		return "IPv6"
+	case EtherTypeARP:
+		return "ARP"
+	default:
+		return fmt.Sprintf("ethertype(0x%04x)", uint16(t))
+	}
+}
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// String renders the address in the usual colon-separated hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EthernetHeaderLen is the fixed length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II frame header. 802.1Q tags are not interpreted;
+// a tagged frame decodes with Type = 0x8100 and the tag left in the payload.
+type Ethernet struct {
+	Dst  MAC
+	Src  MAC
+	Type EtherType
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the
+// remaining payload.
+func (e *Ethernet) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("ethernet: %w: %d bytes", ErrTruncated, len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(b[12:14]))
+	return b[EthernetHeaderLen:], nil
+}
+
+// AppendTo appends the encoded header to dst and returns the extended slice.
+func (e *Ethernet) AppendTo(dst []byte) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(dst, uint16(e.Type))
+}

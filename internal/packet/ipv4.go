@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 is an IPv4 header. Options are preserved opaquely on decode and
+// re-emitted verbatim on encode.
+type IPv4 struct {
+	TOS        uint8
+	Identifier uint16
+	DontFrag   bool
+	MoreFrags  bool
+	FragOffset uint16 // in 8-byte units
+	TTL        uint8
+	Protocol   IPProto
+	Checksum   uint16 // as read; recomputed by AppendTo
+	Src, Dst   netip.Addr
+	Options    []byte
+
+	// TotalLength is the header+payload length as read from the wire.
+	// AppendTo recomputes it from the payload length passed in.
+	TotalLength uint16
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the IP
+// payload, bounded by the TotalLength field when the buffer is longer (e.g.
+// Ethernet padding).
+func (ip *IPv4) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < IPv4HeaderLen {
+		return nil, fmt.Errorf("ipv4: %w: %d bytes", ErrTruncated, len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("ipv4: %w: version %d", ErrBadVersion, v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("ipv4: %w: ihl %d", ErrBadLength, ihl)
+	}
+	ip.TOS = b[1]
+	ip.TotalLength = binary.BigEndian.Uint16(b[2:4])
+	ip.Identifier = binary.BigEndian.Uint16(b[4:6])
+	flagsFrag := binary.BigEndian.Uint16(b[6:8])
+	ip.DontFrag = flagsFrag&0x4000 != 0
+	ip.MoreFrags = flagsFrag&0x2000 != 0
+	ip.FragOffset = flagsFrag & 0x1fff
+	ip.TTL = b[8]
+	ip.Protocol = IPProto(b[9])
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	ip.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	if ihl > IPv4HeaderLen {
+		ip.Options = append(ip.Options[:0], b[IPv4HeaderLen:ihl]...)
+	} else {
+		ip.Options = ip.Options[:0]
+	}
+	if int(ip.TotalLength) < ihl {
+		return nil, fmt.Errorf("ipv4: %w: total length %d < ihl %d", ErrBadLength, ip.TotalLength, ihl)
+	}
+	end := int(ip.TotalLength)
+	if end > len(b) {
+		// Truncated capture: return what we have.
+		end = len(b)
+	}
+	return b[ihl:end], nil
+}
+
+// AppendTo appends the encoded header followed by payload to dst. The
+// TotalLength and Checksum fields are computed; Options must already be
+// padded to a multiple of 4 bytes.
+func (ip *IPv4) AppendTo(dst, payload []byte) []byte {
+	if len(ip.Options)%4 != 0 {
+		panic("ipv4: options not padded to 32-bit boundary")
+	}
+	ihl := IPv4HeaderLen + len(ip.Options)
+	total := ihl + len(payload)
+	start := len(dst)
+	dst = append(dst, byte(4<<4|ihl/4), ip.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint16(dst, ip.Identifier)
+	var flagsFrag uint16 = ip.FragOffset & 0x1fff
+	if ip.DontFrag {
+		flagsFrag |= 0x4000
+	}
+	if ip.MoreFrags {
+		flagsFrag |= 0x2000
+	}
+	dst = binary.BigEndian.AppendUint16(dst, flagsFrag)
+	dst = append(dst, ip.TTL, byte(ip.Protocol))
+	dst = append(dst, 0, 0) // checksum placeholder
+	src, dstAddr := ip.Src.As4(), ip.Dst.As4()
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstAddr[:]...)
+	dst = append(dst, ip.Options...)
+	sum := internetChecksum(dst[start : start+ihl])
+	binary.BigEndian.PutUint16(dst[start+10:start+12], sum)
+	return append(dst, payload...)
+}
+
+// VerifyChecksum reports whether the header checksum in b (which must start
+// at the IPv4 header) is consistent: the ones-complement sum over the header,
+// checksum field included, must fold to all-ones.
+func VerifyChecksum(b []byte) bool {
+	if len(b) < IPv4HeaderLen {
+		return false
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return false
+	}
+	return internetChecksum(b[:ihl]) == 0
+}
+
+// internetChecksum computes the RFC 1071 checksum of b with the checksum
+// field assumed zeroed.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}

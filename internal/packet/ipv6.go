@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// IPv6HeaderLen is the fixed length of an IPv6 header.
+const IPv6HeaderLen = 40
+
+// IPv6 is an IPv6 fixed header. Extension headers are not interpreted: a
+// packet with extensions decodes with NextHeader set to the first extension
+// type and the extensions left in the payload.
+type IPv6 struct {
+	TrafficClass  uint8
+	FlowLabel     uint32 // 20 bits
+	PayloadLength uint16
+	NextHeader    IPProto
+	HopLimit      uint8
+	Src, Dst      netip.Addr
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the IP
+// payload, bounded by PayloadLength when the buffer is longer.
+func (ip *IPv6) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < IPv6HeaderLen {
+		return nil, fmt.Errorf("ipv6: %w: %d bytes", ErrTruncated, len(b))
+	}
+	if v := b[0] >> 4; v != 6 {
+		return nil, fmt.Errorf("ipv6: %w: version %d", ErrBadVersion, v)
+	}
+	ip.TrafficClass = b[0]<<4 | b[1]>>4
+	ip.FlowLabel = binary.BigEndian.Uint32(b[0:4]) & 0x000fffff
+	ip.PayloadLength = binary.BigEndian.Uint16(b[4:6])
+	ip.NextHeader = IPProto(b[6])
+	ip.HopLimit = b[7]
+	ip.Src = netip.AddrFrom16([16]byte(b[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(b[24:40]))
+	end := IPv6HeaderLen + int(ip.PayloadLength)
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[IPv6HeaderLen:end], nil
+}
+
+// AppendTo appends the encoded header followed by payload to dst. The
+// PayloadLength field is computed from len(payload).
+func (ip *IPv6) AppendTo(dst, payload []byte) []byte {
+	w := uint32(6)<<28 | uint32(ip.TrafficClass)<<20 | ip.FlowLabel&0x000fffff
+	dst = binary.BigEndian.AppendUint32(dst, w)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(payload)))
+	dst = append(dst, byte(ip.NextHeader), ip.HopLimit)
+	src, dstAddr := ip.Src.As16(), ip.Dst.As16()
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstAddr[:]...)
+	return append(dst, payload...)
+}

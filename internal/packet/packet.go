@@ -1,0 +1,243 @@
+// Package packet implements wire-format codecs for the protocol layers that
+// carry cloud-game streaming traffic: Ethernet, IPv4, IPv6, UDP, TCP and RTP.
+//
+// The design follows the decode/serialize split popularized by gopacket but
+// stays on the standard library: each layer is a plain struct with a
+// DecodeFromBytes method that parses a header and returns its payload, and an
+// AppendTo method that appends the encoded header (plus payload) to a byte
+// slice. Decoding never retains the input slice beyond the call unless the
+// struct documents otherwise, and the hot paths allocate nothing.
+package packet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Common decode errors. Callers can match them with errors.Is.
+var (
+	ErrTruncated   = errors.New("packet: truncated header")
+	ErrBadVersion  = errors.New("packet: unexpected protocol version")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+	ErrBadLength   = errors.New("packet: inconsistent length field")
+)
+
+// IPProto identifies the transport protocol carried by an IP header.
+type IPProto uint8
+
+// Transport protocol numbers used by this package.
+const (
+	ProtoTCP IPProto = 6
+	ProtoUDP IPProto = 17
+)
+
+// String returns the conventional protocol name.
+func (p IPProto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Meta carries capture metadata for one packet, mirroring a PCAP record
+// header: the capture timestamp, the number of bytes stored, and the original
+// length on the wire (>= CaptureLength when the snap length truncated it).
+type Meta struct {
+	Timestamp     time.Time
+	CaptureLength int
+	WireLength    int
+}
+
+// Decoded is a flattened view of one decoded frame. Layers that were not
+// present are left at their zero value; the Has* booleans say which layers
+// were found. Payload aliases the input buffer and is only valid until the
+// buffer is reused.
+type Decoded struct {
+	Eth     Ethernet
+	IP4     IPv4
+	IP6     IPv6
+	UDP     UDP
+	TCP     TCP
+	Payload []byte
+
+	HasEth bool
+	HasIP4 bool
+	HasIP6 bool
+	HasUDP bool
+	HasTCP bool
+}
+
+// Decode parses an Ethernet frame down to its transport payload. It tolerates
+// unknown transports (Payload is set to the IP payload and the transport Has*
+// flags stay false) but returns an error for malformed headers.
+func Decode(b []byte, d *Decoded) error {
+	*d = Decoded{}
+	rest, err := d.Eth.DecodeFromBytes(b)
+	if err != nil {
+		return err
+	}
+	d.HasEth = true
+	var proto IPProto
+	switch d.Eth.Type {
+	case EtherTypeIPv4:
+		rest, err = d.IP4.DecodeFromBytes(rest)
+		if err != nil {
+			return err
+		}
+		d.HasIP4 = true
+		proto = d.IP4.Protocol
+	case EtherTypeIPv6:
+		rest, err = d.IP6.DecodeFromBytes(rest)
+		if err != nil {
+			return err
+		}
+		d.HasIP6 = true
+		proto = d.IP6.NextHeader
+	default:
+		d.Payload = rest
+		return nil
+	}
+	switch proto {
+	case ProtoUDP:
+		rest, err = d.UDP.DecodeFromBytes(rest)
+		if err != nil {
+			return err
+		}
+		d.HasUDP = true
+	case ProtoTCP:
+		rest, err = d.TCP.DecodeFromBytes(rest)
+		if err != nil {
+			return err
+		}
+		d.HasTCP = true
+	}
+	d.Payload = rest
+	return nil
+}
+
+// SrcAddr returns the network-layer source address, or the zero Addr when no
+// IP layer was decoded.
+func (d *Decoded) SrcAddr() netip.Addr {
+	switch {
+	case d.HasIP4:
+		return d.IP4.Src
+	case d.HasIP6:
+		return d.IP6.Src
+	}
+	return netip.Addr{}
+}
+
+// DstAddr returns the network-layer destination address, or the zero Addr
+// when no IP layer was decoded.
+func (d *Decoded) DstAddr() netip.Addr {
+	switch {
+	case d.HasIP4:
+		return d.IP4.Dst
+	case d.HasIP6:
+		return d.IP6.Dst
+	}
+	return netip.Addr{}
+}
+
+// SrcPort returns the transport source port, or 0 when no transport layer was
+// decoded.
+func (d *Decoded) SrcPort() uint16 {
+	switch {
+	case d.HasUDP:
+		return d.UDP.SrcPort
+	case d.HasTCP:
+		return d.TCP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the transport destination port, or 0 when no transport
+// layer was decoded.
+func (d *Decoded) DstPort() uint16 {
+	switch {
+	case d.HasUDP:
+		return d.UDP.DstPort
+	case d.HasTCP:
+		return d.TCP.DstPort
+	}
+	return 0
+}
+
+// Proto returns the transport protocol, or 0 when none was decoded.
+func (d *Decoded) Proto() IPProto {
+	switch {
+	case d.HasUDP:
+		return ProtoUDP
+	case d.HasTCP:
+		return ProtoTCP
+	}
+	return 0
+}
+
+// Flow returns the five-tuple of the decoded frame. It is the zero FlowKey
+// when the frame had no IP layer.
+func (d *Decoded) Flow() FlowKey {
+	if !d.HasIP4 && !d.HasIP6 {
+		return FlowKey{}
+	}
+	return FlowKey{
+		Src:     d.SrcAddr(),
+		Dst:     d.DstAddr(),
+		SrcPort: d.SrcPort(),
+		DstPort: d.DstPort(),
+		Proto:   d.Proto(),
+	}
+}
+
+// FlowKey identifies a unidirectional transport flow by its five-tuple. It is
+// comparable and therefore usable as a map key.
+type FlowKey struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            IPProto
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{
+		Src: k.Dst, Dst: k.Src,
+		SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Proto: k.Proto,
+	}
+}
+
+// Canonical returns a direction-independent key: the lexicographically
+// smaller (addr, port) endpoint is placed in the Src position. Both
+// directions of a conversation map to the same canonical key.
+func (k FlowKey) Canonical() FlowKey {
+	if k.less() {
+		return k
+	}
+	return k.Reverse()
+}
+
+func (k FlowKey) less() bool {
+	if c := k.Src.Compare(k.Dst); c != 0 {
+		return c < 0
+	}
+	return k.SrcPort <= k.DstPort
+}
+
+// String renders the flow as "proto src:port->dst:port".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s %s->%s",
+		k.Proto,
+		netip.AddrPortFrom(k.Src, k.SrcPort),
+		netip.AddrPortFrom(k.Dst, k.DstPort))
+}
+
+// IsZero reports whether the key is the zero value.
+func (k FlowKey) IsZero() bool {
+	return k == FlowKey{}
+}

@@ -1,0 +1,352 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr4(a, b, c, d byte) netip.Addr { return netip.AddrFrom4([4]byte{a, b, c, d}) }
+
+func frame(payload []byte, proto IPProto) []byte {
+	var trans []byte
+	src, dst := addr4(10, 0, 0, 2), addr4(203, 0, 113, 9)
+	switch proto {
+	case ProtoUDP:
+		u := UDP{SrcPort: 49003, DstPort: 5004}
+		trans = u.AppendTo(nil, payload, src, dst)
+	case ProtoTCP:
+		tc := TCP{SrcPort: 49003, DstPort: 443, Seq: 7, Ack: 9, Flags: TCPAck | TCPPsh, Window: 64240}
+		trans = tc.AppendTo(nil, payload, src, dst)
+	}
+	ip := IPv4{TTL: 64, Protocol: proto, Src: src, Dst: dst, DontFrag: true}
+	eth := Ethernet{Dst: MAC{0xaa, 1, 2, 3, 4, 5}, Src: MAC{0xbb, 6, 7, 8, 9, 10}, Type: EtherTypeIPv4}
+	return ip.AppendTo(eth.AppendTo(nil), trans)
+}
+
+func TestDecodeUDPFrame(t *testing.T) {
+	payload := []byte("hello cloud gaming")
+	b := frame(payload, ProtoUDP)
+	var d Decoded
+	if err := Decode(b, &d); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !d.HasEth || !d.HasIP4 || !d.HasUDP || d.HasTCP || d.HasIP6 {
+		t.Fatalf("layer flags wrong: %+v", d)
+	}
+	if got := string(d.Payload); got != string(payload) {
+		t.Errorf("payload = %q, want %q", got, payload)
+	}
+	if d.SrcPort() != 49003 || d.DstPort() != 5004 {
+		t.Errorf("ports = %d,%d", d.SrcPort(), d.DstPort())
+	}
+	if d.Proto() != ProtoUDP {
+		t.Errorf("proto = %v", d.Proto())
+	}
+	if !VerifyChecksum(b[EthernetHeaderLen:]) {
+		t.Error("IPv4 checksum does not verify")
+	}
+}
+
+func TestDecodeTCPFrame(t *testing.T) {
+	payload := []byte("GET / HTTP/1.1\r\n")
+	b := frame(payload, ProtoTCP)
+	var d Decoded
+	if err := Decode(b, &d); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !d.HasTCP || d.HasUDP {
+		t.Fatalf("layer flags wrong: %+v", d)
+	}
+	if d.TCP.Flags&TCPAck == 0 || d.TCP.Flags&TCPPsh == 0 {
+		t.Errorf("flags = %x", d.TCP.Flags)
+	}
+	if string(d.Payload) != string(payload) {
+		t.Errorf("payload = %q", d.Payload)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	b := frame([]byte("payload"), ProtoUDP)
+	for _, n := range []int{0, 5, EthernetHeaderLen - 1, EthernetHeaderLen + 3, EthernetHeaderLen + IPv4HeaderLen + 2} {
+		var d Decoded
+		if err := Decode(b[:n], &d); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(%d bytes) err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	b := frame([]byte("x"), ProtoUDP)
+	b[EthernetHeaderLen] = 0x55 // version 5
+	var d Decoded
+	if err := Decode(b, &d); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestIPv4EthernetPaddingTrimmed(t *testing.T) {
+	b := frame([]byte("x"), ProtoUDP)
+	padded := append(append([]byte{}, b...), make([]byte, 12)...) // trailer padding
+	var d Decoded
+	if err := Decode(padded, &d); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if string(d.Payload) != "x" {
+		t.Errorf("payload = %q, want %q (padding must be trimmed)", d.Payload, "x")
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	ip := IPv6{
+		TrafficClass: 0x2e,
+		FlowLabel:    0xabcde,
+		NextHeader:   ProtoUDP,
+		HopLimit:     61,
+		Src:          netip.MustParseAddr("2001:db8::1"),
+		Dst:          netip.MustParseAddr("2001:db8::2"),
+	}
+	payload := []byte("v6 payload")
+	b := ip.AppendTo(nil, payload)
+	var got IPv6
+	rest, err := got.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if string(rest) != string(payload) {
+		t.Errorf("payload = %q", rest)
+	}
+	if got.TrafficClass != ip.TrafficClass || got.FlowLabel != ip.FlowLabel ||
+		got.NextHeader != ip.NextHeader || got.HopLimit != ip.HopLimit ||
+		got.Src != ip.Src || got.Dst != ip.Dst {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, ip)
+	}
+	if got.PayloadLength != uint16(len(payload)) {
+		t.Errorf("PayloadLength = %d", got.PayloadLength)
+	}
+}
+
+func TestFlowKeyReverseCanonical(t *testing.T) {
+	k := FlowKey{
+		Src: addr4(10, 0, 0, 2), Dst: addr4(203, 0, 113, 9),
+		SrcPort: 49003, DstPort: 5004, Proto: ProtoUDP,
+	}
+	r := k.Reverse()
+	if r.Src != k.Dst || r.DstPort != k.SrcPort {
+		t.Fatalf("Reverse wrong: %+v", r)
+	}
+	if r.Reverse() != k {
+		t.Error("Reverse not an involution")
+	}
+	if k.Canonical() != r.Canonical() {
+		t.Errorf("Canonical differs by direction: %v vs %v", k.Canonical(), r.Canonical())
+	}
+	if k.IsZero() {
+		t.Error("IsZero on non-zero key")
+	}
+	if !(FlowKey{}).IsZero() {
+		t.Error("!IsZero on zero key")
+	}
+}
+
+// Property: FlowKey.Canonical is direction independent and idempotent for
+// arbitrary endpoints.
+func TestFlowKeyCanonicalProperty(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, udp bool) bool {
+		proto := ProtoTCP
+		if udp {
+			proto = ProtoUDP
+		}
+		k := FlowKey{Src: netip.AddrFrom4(a), Dst: netip.AddrFrom4(b), SrcPort: sp, DstPort: dp, Proto: proto}
+		c := k.Canonical()
+		return c == k.Reverse().Canonical() && c == c.Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UDP header round-trips through AppendTo/DecodeFromBytes for
+// arbitrary ports and payloads.
+func TestUDPRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		u := UDP{SrcPort: sp, DstPort: dp}
+		b := u.AppendTo(nil, payload, addr4(1, 2, 3, 4), addr4(5, 6, 7, 8))
+		var got UDP
+		rest, err := got.DecodeFromBytes(b)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && string(rest) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTPRoundTrip(t *testing.T) {
+	r := RTP{
+		Marker:      true,
+		PayloadType: 98,
+		SeqNumber:   0xfffe,
+		Timestamp:   90000,
+		SSRC:        0xdeadbeef,
+		CSRC:        []uint32{1, 2, 3},
+	}
+	payload := []byte{0x42, 0x00, 0x01, 0x02}
+	b := r.AppendTo(nil, payload)
+	if !LooksLikeRTP(b) {
+		t.Error("LooksLikeRTP = false on valid packet")
+	}
+	var got RTP
+	rest, err := got.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if string(rest) != string(payload) {
+		t.Errorf("payload = %x", rest)
+	}
+	if got.SeqNumber != r.SeqNumber || got.Timestamp != r.Timestamp || got.SSRC != r.SSRC ||
+		!got.Marker || got.PayloadType != r.PayloadType || len(got.CSRC) != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestRTPExtension(t *testing.T) {
+	r := RTP{
+		PayloadType:      127,
+		SeqNumber:        1,
+		SSRC:             42,
+		HasExtension:     true,
+		ExtensionProfile: 0xbede,
+		Extension:        []byte{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	b := r.AppendTo(nil, []byte("vid"))
+	var got RTP
+	rest, err := got.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if !got.HasExtension || got.ExtensionProfile != 0xbede || len(got.Extension) != 8 {
+		t.Errorf("extension mismatch: %+v", got)
+	}
+	if string(rest) != "vid" {
+		t.Errorf("payload = %q", rest)
+	}
+}
+
+func TestRTPPadding(t *testing.T) {
+	// Hand-build a padded packet: 4 payload bytes + 4 padding bytes, last = 4.
+	r := RTP{PayloadType: 96, SeqNumber: 9, SSRC: 1}
+	b := r.AppendTo(nil, []byte{1, 2, 3, 4, 0, 0, 0, 4})
+	b[0] |= 0x20 // set padding flag
+	var got RTP
+	rest, err := got.DecodeFromBytes(b)
+	if err != nil {
+		t.Fatalf("DecodeFromBytes: %v", err)
+	}
+	if len(rest) != 4 || rest[3] != 4 {
+		t.Errorf("padded payload = %x, want 4 bytes", rest)
+	}
+}
+
+func TestRTPRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x80},
+		{0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // version 0
+		{0xc0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, // version 3
+	}
+	for i, b := range cases {
+		var r RTP
+		if _, err := r.DecodeFromBytes(b); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+		if LooksLikeRTP(b) {
+			t.Errorf("case %d: LooksLikeRTP = true", i)
+		}
+	}
+}
+
+// Property: RTP headers with random field values round-trip.
+func TestRTPRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		r := RTP{
+			Marker:      rng.Intn(2) == 0,
+			PayloadType: uint8(rng.Intn(128)),
+			SeqNumber:   uint16(rng.Intn(1 << 16)),
+			Timestamp:   rng.Uint32(),
+			SSRC:        rng.Uint32(),
+		}
+		for j := rng.Intn(4); j > 0; j-- {
+			r.CSRC = append(r.CSRC, rng.Uint32())
+		}
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		b := r.AppendTo(nil, payload)
+		var got RTP
+		rest, err := got.DecodeFromBytes(b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if string(rest) != string(payload) || got.SeqNumber != r.SeqNumber ||
+			got.SSRC != r.SSRC || got.Timestamp != r.Timestamp {
+			t.Fatalf("iter %d: mismatch", i)
+		}
+	}
+}
+
+func TestInternetChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := internetChecksum(b); got != ^uint16(0xddf2) {
+		t.Errorf("checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestIPProtoString(t *testing.T) {
+	if ProtoTCP.String() != "TCP" || ProtoUDP.String() != "UDP" {
+		t.Error("proto names wrong")
+	}
+	if IPProto(99).String() != "proto(99)" {
+		t.Errorf("unknown proto = %q", IPProto(99).String())
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC = %q", m)
+	}
+}
+
+func BenchmarkDecodeUDPFrame(b *testing.B) {
+	buf := frame(make([]byte, 1200), ProtoUDP)
+	var d Decoded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(buf, &d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRTPDecode(b *testing.B) {
+	r := RTP{PayloadType: 96, SeqNumber: 1, SSRC: 7}
+	buf := r.AppendTo(nil, make([]byte, 1200))
+	var got RTP
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := got.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RTPHeaderLen is the length of an RTP header with no CSRCs and no extension.
+const RTPHeaderLen = 12
+
+// RTP is an RFC 3550 RTP header. Cloud-game streaming services carry video,
+// audio and input channels over RTP/UDP; the payload type and SSRC
+// conventions differ per platform and are matched by package flowdetect.
+type RTP struct {
+	Padding     bool
+	Marker      bool
+	PayloadType uint8 // 7 bits
+	SeqNumber   uint16
+	Timestamp   uint32
+	SSRC        uint32
+	CSRC        []uint32
+	// Extension, when HasExtension is set, holds the profile-defined
+	// extension header payload (without the 4-byte extension preamble).
+	HasExtension     bool
+	ExtensionProfile uint16
+	Extension        []byte
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the RTP
+// payload.
+func (r *RTP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < RTPHeaderLen {
+		return nil, fmt.Errorf("rtp: %w: %d bytes", ErrTruncated, len(b))
+	}
+	if v := b[0] >> 6; v != 2 {
+		return nil, fmt.Errorf("rtp: %w: version %d", ErrBadVersion, v)
+	}
+	r.Padding = b[0]&0x20 != 0
+	r.HasExtension = b[0]&0x10 != 0
+	cc := int(b[0] & 0x0f)
+	r.Marker = b[1]&0x80 != 0
+	r.PayloadType = b[1] & 0x7f
+	r.SeqNumber = binary.BigEndian.Uint16(b[2:4])
+	r.Timestamp = binary.BigEndian.Uint32(b[4:8])
+	r.SSRC = binary.BigEndian.Uint32(b[8:12])
+	off := RTPHeaderLen
+	if len(b) < off+4*cc {
+		return nil, fmt.Errorf("rtp: %w: %d CSRCs", ErrTruncated, cc)
+	}
+	r.CSRC = r.CSRC[:0]
+	for i := 0; i < cc; i++ {
+		r.CSRC = append(r.CSRC, binary.BigEndian.Uint32(b[off:off+4]))
+		off += 4
+	}
+	r.ExtensionProfile = 0
+	r.Extension = r.Extension[:0]
+	if r.HasExtension {
+		if len(b) < off+4 {
+			return nil, fmt.Errorf("rtp: %w: extension preamble", ErrTruncated)
+		}
+		r.ExtensionProfile = binary.BigEndian.Uint16(b[off : off+2])
+		extWords := int(binary.BigEndian.Uint16(b[off+2 : off+4]))
+		off += 4
+		if len(b) < off+4*extWords {
+			return nil, fmt.Errorf("rtp: %w: extension body", ErrTruncated)
+		}
+		r.Extension = append(r.Extension, b[off:off+4*extWords]...)
+		off += 4 * extWords
+	}
+	payload := b[off:]
+	if r.Padding {
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("rtp: %w: padding flag on empty payload", ErrBadLength)
+		}
+		pad := int(payload[len(payload)-1])
+		if pad == 0 || pad > len(payload) {
+			return nil, fmt.Errorf("rtp: %w: padding %d of %d", ErrBadLength, pad, len(payload))
+		}
+		payload = payload[:len(payload)-pad]
+	}
+	return payload, nil
+}
+
+// AppendTo appends the encoded header followed by payload to dst. Padding is
+// not emitted (the Padding flag is encoded as false).
+func (r *RTP) AppendTo(dst, payload []byte) []byte {
+	if len(r.Extension)%4 != 0 {
+		panic("rtp: extension not padded to 32-bit boundary")
+	}
+	b0 := byte(2 << 6)
+	if r.HasExtension {
+		b0 |= 0x10
+	}
+	b0 |= byte(len(r.CSRC) & 0x0f)
+	b1 := r.PayloadType & 0x7f
+	if r.Marker {
+		b1 |= 0x80
+	}
+	dst = append(dst, b0, b1)
+	dst = binary.BigEndian.AppendUint16(dst, r.SeqNumber)
+	dst = binary.BigEndian.AppendUint32(dst, r.Timestamp)
+	dst = binary.BigEndian.AppendUint32(dst, r.SSRC)
+	for _, c := range r.CSRC {
+		dst = binary.BigEndian.AppendUint32(dst, c)
+	}
+	if r.HasExtension {
+		dst = binary.BigEndian.AppendUint16(dst, r.ExtensionProfile)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Extension)/4))
+		dst = append(dst, r.Extension...)
+	}
+	return append(dst, payload...)
+}
+
+// LooksLikeRTP is a cheap sanity probe used by flow detectors: it reports
+// whether b plausibly starts with an RTP header (version 2, sane lengths)
+// without fully decoding it.
+func LooksLikeRTP(b []byte) bool {
+	if len(b) < RTPHeaderLen {
+		return false
+	}
+	if b[0]>>6 != 2 {
+		return false
+	}
+	cc := int(b[0] & 0x0f)
+	need := RTPHeaderLen + 4*cc
+	if b[0]&0x10 != 0 {
+		need += 4
+	}
+	return len(b) >= need
+}

@@ -1,0 +1,161 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the fixed length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header+payload, as read; recomputed by AppendTo
+	Checksum         uint16
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the UDP
+// payload, bounded by the Length field when the buffer is longer.
+func (u *UDP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < UDPHeaderLen {
+		return nil, fmt.Errorf("udp: %w: %d bytes", ErrTruncated, len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if int(u.Length) < UDPHeaderLen {
+		return nil, fmt.Errorf("udp: %w: length %d", ErrBadLength, u.Length)
+	}
+	end := int(u.Length)
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[UDPHeaderLen:end], nil
+}
+
+// AppendTo appends the encoded header followed by payload to dst. Length is
+// computed; the checksum is computed over the IPv4 pseudo-header when src and
+// dst are valid IPv4 addresses, and left zero (legal for UDP/IPv4) otherwise.
+func (u *UDP) AppendTo(dst, payload []byte, src, dstAddr netip.Addr) []byte {
+	total := UDPHeaderLen + len(payload)
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, u.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, u.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = append(dst, 0, 0) // checksum placeholder
+	dst = append(dst, payload...)
+	if src.Is4() && dstAddr.Is4() {
+		sum := transportChecksum4(src, dstAddr, ProtoUDP, dst[start:start+total])
+		if sum == 0 {
+			sum = 0xffff
+		}
+		binary.BigEndian.PutUint16(dst[start+6:start+8], sum)
+	}
+	return dst
+}
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a TCP header. Options are preserved opaquely.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// DecodeFromBytes parses the header at the start of b and returns the TCP
+// payload.
+func (t *TCP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < TCPHeaderLen {
+		return nil, fmt.Errorf("tcp: %w: %d bytes", ErrTruncated, len(b))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < TCPHeaderLen || len(b) < dataOff {
+		return nil, fmt.Errorf("tcp: %w: data offset %d", ErrBadLength, dataOff)
+	}
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Checksum = binary.BigEndian.Uint16(b[16:18])
+	t.Urgent = binary.BigEndian.Uint16(b[18:20])
+	if dataOff > TCPHeaderLen {
+		t.Options = append(t.Options[:0], b[TCPHeaderLen:dataOff]...)
+	} else {
+		t.Options = t.Options[:0]
+	}
+	return b[dataOff:], nil
+}
+
+// AppendTo appends the encoded header followed by payload to dst, computing
+// the checksum over the IPv4 pseudo-header when src and dstAddr are IPv4.
+// Options must be padded to a multiple of 4 bytes.
+func (t *TCP) AppendTo(dst, payload []byte, src, dstAddr netip.Addr) []byte {
+	if len(t.Options)%4 != 0 {
+		panic("tcp: options not padded to 32-bit boundary")
+	}
+	dataOff := TCPHeaderLen + len(t.Options)
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, t.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, t.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, t.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, t.Ack)
+	dst = append(dst, byte(dataOff/4)<<4, t.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, t.Window)
+	dst = append(dst, 0, 0) // checksum placeholder
+	dst = binary.BigEndian.AppendUint16(dst, t.Urgent)
+	dst = append(dst, t.Options...)
+	dst = append(dst, payload...)
+	if src.Is4() && dstAddr.Is4() {
+		sum := transportChecksum4(src, dstAddr, ProtoTCP, dst[start:])
+		binary.BigEndian.PutUint16(dst[start+16:start+18], sum)
+	}
+	return dst
+}
+
+// transportChecksum4 computes the transport checksum including the IPv4
+// pseudo-header. seg must contain the transport header (with a zeroed
+// checksum field) followed by the payload.
+func transportChecksum4(src, dst netip.Addr, proto IPProto, seg []byte) uint16 {
+	var pseudo [12]byte
+	s4, d4 := src.As4(), dst.As4()
+	copy(pseudo[0:4], s4[:])
+	copy(pseudo[4:8], d4[:])
+	pseudo[9] = byte(proto)
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+
+	var sum uint32
+	for i := 0; i+1 < len(pseudo); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(pseudo[i : i+2]))
+	}
+	for i := 0; i+1 < len(seg); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(seg[i : i+2]))
+	}
+	if len(seg)%2 == 1 {
+		sum += uint32(seg[len(seg)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum>>16 + sum&0xffff
+	}
+	return ^uint16(sum)
+}

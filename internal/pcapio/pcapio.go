@@ -1,0 +1,180 @@
+// Package pcapio reads and writes classic libpcap capture files (the format
+// produced by tcpdump and Wireshark). Both byte orders and both timestamp
+// resolutions (microsecond magic 0xa1b2c3d4, nanosecond magic 0xa1b23c4d) are
+// supported. The reader streams records without loading the file into
+// memory; the writer emits little-endian files.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Link-layer header types (subset).
+const (
+	LinkTypeEthernet uint32 = 1
+	LinkTypeRaw      uint32 = 101
+)
+
+const (
+	magicMicro        = 0xa1b2c3d4
+	magicNano         = 0xa1b23c4d
+	magicMicroSwapped = 0xd4c3b2a1
+	magicNanoSwapped  = 0x4d3cb2a1
+
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+)
+
+// ErrBadMagic is returned when the file does not start with a known pcap
+// magic number.
+var ErrBadMagic = errors.New("pcapio: bad magic number")
+
+// Record is one captured packet: its metadata and the captured bytes.
+type Record struct {
+	Timestamp     time.Time
+	CaptureLength int
+	WireLength    int
+	Data          []byte
+}
+
+// Reader streams records from a pcap file.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nanos    bool
+	linkType uint32
+	snapLen  uint32
+	hdr      [recordHeaderLen]byte
+	buf      []byte
+}
+
+// NewReader parses the pcap file header from r and returns a Reader
+// positioned at the first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var h [fileHeaderLen]byte
+	if _, err := io.ReadFull(br, h[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading file header: %w", err)
+	}
+	magic := binary.LittleEndian.Uint32(h[0:4])
+	rd := &Reader{r: br}
+	switch magic {
+	case magicMicro:
+		rd.order = binary.LittleEndian
+	case magicNano:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicMicroSwapped:
+		rd.order = binary.BigEndian
+	case magicNanoSwapped:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, magic)
+	}
+	if major := rd.order.Uint16(h[4:6]); major != 2 {
+		return nil, fmt.Errorf("pcapio: unsupported version %d.%d", major, rd.order.Uint16(h[6:8]))
+	}
+	rd.snapLen = rd.order.Uint32(h[16:20])
+	rd.linkType = rd.order.Uint32(h[20:24])
+	return rd, nil
+}
+
+// LinkType returns the link-layer header type declared by the file.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// SnapLen returns the snapshot length declared by the file.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// Next reads the next record. The returned Record's Data aliases an internal
+// buffer that is overwritten by the following call; copy it to retain it.
+// At end of file, Next returns io.EOF.
+func (r *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcapio: reading record header: %w", err)
+	}
+	sec := r.order.Uint32(r.hdr[0:4])
+	frac := r.order.Uint32(r.hdr[4:8])
+	capLen := r.order.Uint32(r.hdr[8:12])
+	wireLen := r.order.Uint32(r.hdr[12:16])
+	if r.snapLen > 0 && capLen > r.snapLen+64 {
+		return Record{}, fmt.Errorf("pcapio: capture length %d exceeds snaplen %d", capLen, r.snapLen)
+	}
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	r.buf = r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return Record{}, fmt.Errorf("pcapio: reading %d-byte record: %w", capLen, err)
+	}
+	nanos := int64(frac)
+	if !r.nanos {
+		nanos *= 1000
+	}
+	return Record{
+		Timestamp:     time.Unix(int64(sec), nanos).UTC(),
+		CaptureLength: int(capLen),
+		WireLength:    int(wireLen),
+		Data:          r.buf,
+	}, nil
+}
+
+// Writer emits a little-endian nanosecond-resolution pcap file.
+type Writer struct {
+	w       *bufio.Writer
+	snapLen uint32
+	hdr     [recordHeaderLen]byte
+}
+
+// NewWriter writes a pcap file header for the given link type and snap
+// length and returns a Writer. Call Flush before closing the underlying
+// writer.
+func NewWriter(w io.Writer, linkType uint32, snapLen uint32) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var h [fileHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], magicNano)
+	binary.LittleEndian.PutUint16(h[4:6], 2)
+	binary.LittleEndian.PutUint16(h[6:8], 4)
+	binary.LittleEndian.PutUint32(h[16:20], snapLen)
+	binary.LittleEndian.PutUint32(h[20:24], linkType)
+	if _, err := bw.Write(h[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: writing file header: %w", err)
+	}
+	return &Writer{w: bw, snapLen: snapLen}, nil
+}
+
+// WriteRecord appends one packet. wireLen is the original length on the
+// wire; data may be shorter when truncated by a snap length.
+func (w *Writer) WriteRecord(ts time.Time, wireLen int, data []byte) error {
+	if w.snapLen > 0 && len(data) > int(w.snapLen) {
+		data = data[:w.snapLen]
+	}
+	if wireLen < len(data) {
+		wireLen = len(data)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(ts.Nanosecond()))
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], uint32(wireLen))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("pcapio: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("pcapio: writing record data: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("pcapio: flush: %w", err)
+	}
+	return nil
+}

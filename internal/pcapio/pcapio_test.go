@@ -1,0 +1,141 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, LinkTypeEthernet, 65535)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2025, 3, 1, 12, 0, 0, 123456789, time.UTC)
+	payloads := [][]byte{
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xab}, 1500),
+		{},
+	}
+	for i, p := range payloads {
+		if err := w.WriteRecord(base.Add(time.Duration(i)*time.Millisecond), len(p), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Errorf("link type = %d", r.LinkType())
+	}
+	if r.SnapLen() != 65535 {
+		t.Errorf("snaplen = %d", r.SnapLen())
+	}
+	for i, p := range payloads {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Data, p) {
+			t.Errorf("record %d data mismatch: %d bytes vs %d", i, len(rec.Data), len(p))
+		}
+		want := base.Add(time.Duration(i) * time.Millisecond)
+		if !rec.Timestamp.Equal(want) {
+			t.Errorf("record %d ts = %v, want %v (nanosecond precision)", i, rec.Timestamp, want)
+		}
+		if rec.WireLength != len(p) {
+			t.Errorf("record %d wirelen = %d", i, rec.WireLength)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderBigEndianMicro(t *testing.T) {
+	// Hand-build a classic big-endian microsecond file with one record.
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.BigEndian.PutUint32(hdr[0:4], 0xa1b2c3d4)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 262144)
+	binary.BigEndian.PutUint32(hdr[20:24], 1)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.BigEndian.PutUint32(rec[0:4], 1000)   // sec
+	binary.BigEndian.PutUint32(rec[4:8], 500000) // usec
+	binary.BigEndian.PutUint32(rec[8:12], 4)     // caplen
+	binary.BigEndian.PutUint32(rec[12:16], 60)   // wirelen
+	buf.Write(rec)
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Unix(1000, 500000*1000).UTC()
+	if !got.Timestamp.Equal(want) {
+		t.Errorf("ts = %v, want %v", got.Timestamp, want)
+	}
+	if got.WireLength != 60 || got.CaptureLength != 4 {
+		t.Errorf("lengths = %d/%d", got.CaptureLength, got.WireLength)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader(make([]byte, 24)))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet, 0)
+	_ = w.WriteRecord(time.Now(), 100, bytes.Repeat([]byte{1}, 100))
+	_ = w.Flush()
+	// Chop the last 10 bytes.
+	b := buf.Bytes()[:buf.Len()-10]
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestWriterSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, LinkTypeEthernet, 64)
+	_ = w.WriteRecord(time.Now(), 1500, bytes.Repeat([]byte{7}, 1500))
+	_ = w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CaptureLength != 64 || rec.WireLength != 1500 {
+		t.Errorf("lengths = %d/%d, want 64/1500", rec.CaptureLength, rec.WireLength)
+	}
+}

@@ -1,0 +1,352 @@
+// Package stageclass implements the second novel process of the paper
+// (§4.3): continuous classification of the player activity stage (idle,
+// active, passive) from EMA-smoothed peak-relative volumetric attributes,
+// and inference of the gameplay activity pattern (continuous-play vs
+// spectate-and-play) from the stage-transition matrix once its confidence
+// clears a threshold.
+package stageclass
+
+import (
+	"fmt"
+	"time"
+
+	"gamelens/internal/features"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/trace"
+)
+
+// gameplay stages are classified over three classes, indexed as below.
+var stageClasses = [3]trace.Stage{trace.StageIdle, trace.StageActive, trace.StagePassive}
+
+// StageClassNames returns the class names in model order.
+func StageClassNames() []string { return []string{"idle", "active", "passive"} }
+
+// ClassOf maps a gameplay stage to its class index, or -1 for launch.
+func ClassOf(s trace.Stage) int {
+	switch s {
+	case trace.StageIdle:
+		return 0
+	case trace.StageActive:
+		return 1
+	case trace.StagePassive:
+		return 2
+	}
+	return -1
+}
+
+// StageOf maps a class index back to the stage.
+func StageOf(class int) trace.Stage {
+	if class < 0 || class >= len(stageClasses) {
+		return trace.StageIdle
+	}
+	return stageClasses[class]
+}
+
+// PatternClassNames returns the pattern class names in model order
+// (spectate-and-play = 0, continuous-play = 1, matching gamesim.Pattern).
+func PatternClassNames() []string {
+	return []string{gamesim.SpectateAndPlay.String(), gamesim.ContinuousPlay.String()}
+}
+
+// Config carries the §4.4.2 tunables. Zero values take the deployed
+// defaults: I=1 s, α=0.5, pattern confidence threshold 75%, 100-tree
+// depth-10 forests (Appendix C.2).
+type Config struct {
+	// Volumetric sets slot width I, EMA weight α and the peak guard.
+	Volumetric features.VolumetricConfig
+	// PatternThreshold is the confidence needed before emitting a gameplay
+	// activity pattern inference.
+	PatternThreshold float64
+	// MinTransitions is the minimum number of observed slot transitions
+	// before pattern inference is attempted.
+	MinTransitions int
+	// PatternStability is how many consecutive slots the same confident
+	// prediction must persist before it latches; it guards against the
+	// poorly calibrated confidence of early, sparse transition matrices.
+	PatternStability int
+	// StageForest and PatternForest configure the two models.
+	StageForest   mlkit.ForestConfig
+	PatternForest mlkit.ForestConfig
+	// Seed drives training randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	def := features.DefaultVolumetricConfig()
+	if c.Volumetric.I <= 0 {
+		c.Volumetric.I = def.I
+	}
+	if c.Volumetric.Alpha <= 0 {
+		c.Volumetric.Alpha = def.Alpha
+	}
+	if c.Volumetric.PeakFloorFrac <= 0 {
+		c.Volumetric.PeakFloorFrac = def.PeakFloorFrac
+	}
+	if c.PatternThreshold <= 0 {
+		c.PatternThreshold = 0.75
+	}
+	if c.MinTransitions <= 0 {
+		c.MinTransitions = 240
+	}
+	if c.PatternStability <= 0 {
+		c.PatternStability = 60
+	}
+	if c.StageForest.NumTrees == 0 {
+		c.StageForest = mlkit.ForestConfig{NumTrees: 100, MaxDepth: 10}
+	}
+	if c.StageForest.Seed == 0 {
+		c.StageForest.Seed = c.Seed + 5
+	}
+	if c.PatternForest.NumTrees == 0 {
+		c.PatternForest = mlkit.ForestConfig{NumTrees: 100, MaxDepth: 10}
+	}
+	if c.PatternForest.Seed == 0 {
+		c.PatternForest.Seed = c.Seed + 11
+	}
+	return c
+}
+
+// BuildStageDataset reduces sessions to per-slot stage samples.
+func BuildStageDataset(sessions []*gamesim.Session, cfg features.VolumetricConfig) *mlkit.Dataset {
+	d := &mlkit.Dataset{
+		FeatureNames: features.StageAttrNames(),
+		ClassNames:   StageClassNames(),
+	}
+	for _, s := range sessions {
+		X, stages := features.ExtractStageFeatures(s.Slots, s.LaunchEnd(), cfg)
+		for i, x := range X {
+			if c := ClassOf(stages[i]); c >= 0 {
+				d.Append(x, c)
+			}
+		}
+	}
+	return d
+}
+
+// BuildPatternDataset reduces sessions to per-session transition-probability
+// samples labeled by gameplay activity pattern. Stage sequences come from
+// the ground-truth spans rebinned at cfg.I, matching how the deployed
+// modeler sees one classified stage per slot.
+func BuildPatternDataset(sessions []*gamesim.Session, cfg features.VolumetricConfig) *mlkit.Dataset {
+	d := &mlkit.Dataset{
+		FeatureNames: features.TransitionAttrNames(),
+		ClassNames:   PatternClassNames(),
+	}
+	for _, s := range sessions {
+		var tm features.TransitionMatrix
+		re := trace.Rebin(s.Slots, cfg.I)
+		for _, slot := range re {
+			tm.Push(slot.Stage)
+		}
+		if tm.Total() == 0 {
+			continue
+		}
+		d.Append(tm.Probabilities(), int(s.Title.Pattern))
+	}
+	return d
+}
+
+// Classifier holds the trained stage and pattern models.
+type Classifier struct {
+	cfg     Config
+	stage   mlkit.Classifier
+	pattern mlkit.Classifier
+}
+
+// Train fits both models on generated (or replayed) sessions. The stage
+// model learns from ground-truth-labeled slots; the pattern model then
+// learns from transition matrices of stage sequences *as classified by the
+// stage model* — the distribution the deployed stage-transition modeler
+// actually sees (Fig 6) — snapshotted at several session prefixes so early
+// inferences are in-distribution too.
+func Train(sessions []*gamesim.Session, cfg Config) (*Classifier, error) {
+	cfg = cfg.withDefaults()
+	sd := BuildStageDataset(sessions, cfg.Volumetric)
+	stage, err := mlkit.FitForest(sd, cfg.StageForest)
+	if err != nil {
+		return nil, fmt.Errorf("stageclass: stage model: %w", err)
+	}
+	c := &Classifier{cfg: cfg, stage: stage}
+	pd := c.BuildClassifiedPatternDataset(sessions)
+	pattern, err := mlkit.FitForest(pd, cfg.PatternForest)
+	if err != nil {
+		return nil, fmt.Errorf("stageclass: pattern model: %w", err)
+	}
+	c.pattern = pattern
+	return c, nil
+}
+
+// BuildClassifiedPatternDataset runs the trained stage model over each
+// session and snapshots the transition matrix at every eighth of its slots
+// (once past Config.MinTransitions), yielding pattern samples that match
+// what the online Tracker accumulates, including early-session matrices.
+func (c *Classifier) BuildClassifiedPatternDataset(sessions []*gamesim.Session) *mlkit.Dataset {
+	d := &mlkit.Dataset{
+		FeatureNames: features.TransitionAttrNames(),
+		ClassNames:   PatternClassNames(),
+	}
+	for _, s := range sessions {
+		ext := features.NewStageFeatureExtractor(c.cfg.Volumetric)
+		re := trace.Rebin(s.Slots, c.cfg.Volumetric.I)
+		launchSlots := int(s.LaunchEnd() / c.cfg.Volumetric.I)
+		var tm features.TransitionMatrix
+		checkpoints := map[int]bool{len(re) - 1: true}
+		for k := 1; k <= 8; k++ {
+			checkpoints[k*len(re)/8] = true
+		}
+		for i, slot := range re {
+			x := ext.Push(slot)
+			if i < launchSlots {
+				continue
+			}
+			tm.Push(StageOf(c.stage.Predict(x)))
+			if checkpoints[i] && int(tm.Total()) >= c.cfg.MinTransitions {
+				d.Append(tm.Probabilities(), int(s.Title.Pattern))
+			}
+		}
+	}
+	return d
+}
+
+// FromModels wraps externally trained models.
+func FromModels(stage, pattern mlkit.Classifier, cfg Config) *Classifier {
+	return &Classifier{cfg: cfg.withDefaults(), stage: stage, pattern: pattern}
+}
+
+// Config returns the effective configuration.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// StageModel exposes the stage model.
+func (c *Classifier) StageModel() mlkit.Classifier { return c.stage }
+
+// PatternModel exposes the pattern model.
+func (c *Classifier) PatternModel() mlkit.Classifier { return c.pattern }
+
+// StageResult is one per-slot classification.
+type StageResult struct {
+	Stage      trace.Stage
+	Confidence float64
+}
+
+// PatternResult is an inferred gameplay activity pattern.
+type PatternResult struct {
+	Pattern    gamesim.Pattern
+	Confidence float64
+	// At is the slot index at which the inference first cleared the
+	// threshold.
+	At int
+}
+
+// Tracker is the online per-session state: it consumes I-wide volumetric
+// slots, emits a stage per slot, accumulates the transition matrix, and
+// latches the pattern inference once confident.
+type Tracker struct {
+	c         *Classifier
+	extractor *features.StageFeatureExtractor
+	tm        features.TransitionMatrix
+	slots     int
+	inLaunch  bool
+	launchFor time.Duration
+	pattern   *PatternResult
+
+	// streak tracks how long the current confident candidate has held.
+	streakClass int
+	streakLen   int
+}
+
+// NewTracker starts tracking one session. launchFor marks how long from
+// session start the flow is still in its launch stage (stage classification
+// is suppressed there, but the peak tracker warms up; pass 0 when unknown).
+func (c *Classifier) NewTracker(launchFor time.Duration) *Tracker {
+	return &Tracker{
+		c:         c,
+		extractor: features.NewStageFeatureExtractor(c.cfg.Volumetric),
+		inLaunch:  launchFor > 0,
+		launchFor: launchFor,
+	}
+}
+
+// Push consumes the next I-wide slot and returns its stage classification.
+// During the launch window it returns (StageLaunch, 1).
+func (t *Tracker) Push(slot trace.Slot) StageResult {
+	x := t.extractor.Push(slot)
+	idx := t.slots
+	t.slots++
+	if t.inLaunch && time.Duration(idx+1)*t.c.cfg.Volumetric.I <= t.launchFor {
+		return StageResult{Stage: trace.StageLaunch, Confidence: 1}
+	}
+	probs := t.c.stage.PredictProba(x)
+	best, conf := 0, 0.0
+	for i, p := range probs {
+		if p > conf {
+			best, conf = i, p
+		}
+	}
+	st := StageOf(best)
+	t.tm.Push(st)
+	t.maybeInferPattern(idx)
+	return StageResult{Stage: st, Confidence: conf}
+}
+
+// maybeInferPattern latches the pattern once the same confident prediction
+// has persisted for PatternStability consecutive slots. A latched pattern is
+// revised if a later stable streak of the other class forms — accumulating
+// evidence dominates an early unlucky window.
+func (t *Tracker) maybeInferPattern(slotIdx int) {
+	if int(t.tm.Total()) < t.c.cfg.MinTransitions {
+		return
+	}
+	probs := t.c.pattern.PredictProba(t.tm.Probabilities())
+	best, conf := 0, 0.0
+	for i, p := range probs {
+		if p > conf {
+			best, conf = i, p
+		}
+	}
+	if conf < t.c.cfg.PatternThreshold {
+		t.streakLen = 0
+		return
+	}
+	if t.streakLen == 0 || best != t.streakClass {
+		t.streakClass = best
+		t.streakLen = 1
+		return
+	}
+	t.streakLen++
+	if t.streakLen < t.c.cfg.PatternStability {
+		return
+	}
+	if t.pattern == nil {
+		t.pattern = &PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: slotIdx}
+	} else if t.pattern.Pattern != gamesim.Pattern(best) {
+		at := t.pattern.At // keep the first decision time for telemetry
+		t.pattern = &PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: at}
+	} else {
+		t.pattern.Confidence = conf
+	}
+}
+
+// Pattern returns the latched inference, or ok=false while undecided.
+func (t *Tracker) Pattern() (PatternResult, bool) {
+	if t.pattern == nil {
+		return PatternResult{}, false
+	}
+	return *t.pattern, true
+}
+
+// ForcePattern returns the current best pattern guess regardless of the
+// confidence threshold (used at session end when nothing latched).
+func (t *Tracker) ForcePattern() PatternResult {
+	probs := t.c.pattern.PredictProba(t.tm.Probabilities())
+	best, conf := 0, 0.0
+	for i, p := range probs {
+		if p > conf {
+			best, conf = i, p
+		}
+	}
+	return PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: t.slots - 1}
+}
+
+// Transitions exposes the accumulated matrix (for Table 5 analysis).
+func (t *Tracker) Transitions() *features.TransitionMatrix { return &t.tm }

@@ -1,0 +1,234 @@
+package stageclass
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gamelens/internal/features"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/trace"
+)
+
+// stageSessions generates a mixed-title session set with full volumetric
+// series (no launch detail needed beyond the default).
+func stageSessions(t testing.TB, perTitle int, minutes int, seed int64) []*gamesim.Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var out []*gamesim.Session
+	for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
+		for i := 0; i < perTitle; i++ {
+			cfg := gamesim.RandomConfig(rng)
+			out = append(out, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
+				seed+int64(id)*531+int64(i), gamesim.Options{
+					SessionLength: time.Duration(minutes) * time.Minute,
+				}))
+		}
+	}
+	return out
+}
+
+func testConfig() Config {
+	return Config{
+		StageForest:   mlkit.ForestConfig{NumTrees: 40, MaxDepth: 10},
+		PatternForest: mlkit.ForestConfig{NumTrees: 40, MaxDepth: 10},
+		Seed:          7,
+	}
+}
+
+func TestStageClassificationAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains forests")
+	}
+	train := stageSessions(t, 4, 25, 1)
+	test := stageSessions(t, 1, 25, 2)
+	c, err := Train(train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BuildStageDataset(test, c.Config().Volumetric)
+	m := mlkit.Evaluate(c.StageModel(), d)
+	if acc := m.Accuracy(); acc < 0.85 {
+		t.Errorf("stage accuracy = %.3f, want >= 0.85 (paper: 92-98%%)", acc)
+	}
+	for cl, name := range StageClassNames() {
+		if r := m.Recall(cl); r < 0.75 {
+			t.Errorf("recall(%s) = %.3f, want >= 0.75", name, r)
+		}
+	}
+}
+
+func TestPatternInference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains forests")
+	}
+	train := stageSessions(t, 4, 30, 11)
+	test := stageSessions(t, 1, 30, 12)
+	c, err := Train(train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total, latched := 0, 0, 0
+	for _, s := range test {
+		tr := c.NewTracker(s.LaunchEnd())
+		re := trace.Rebin(s.Slots, c.Config().Volumetric.I)
+		for _, slot := range re {
+			tr.Push(slot)
+		}
+		total++
+		res, ok := tr.Pattern()
+		if !ok {
+			res = tr.ForcePattern()
+		} else {
+			latched++
+		}
+		if res.Pattern == s.Title.Pattern {
+			correct++
+		}
+	}
+	if latched < total*6/10 {
+		t.Errorf("only %d/%d sessions latched a confident pattern", latched, total)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.85 {
+		t.Errorf("pattern accuracy = %.3f, want >= 0.85 (paper: ~96%%)", acc)
+	}
+}
+
+func TestPatternInferenceTimeliness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains forests")
+	}
+	// The paper reports confident inferences after ~5 minutes on average.
+	train := stageSessions(t, 2, 25, 21)
+	c, err := Train(train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := stageSessions(t, 1, 40, 22)
+	var sumMinutes float64
+	n := 0
+	for _, s := range test {
+		tr := c.NewTracker(s.LaunchEnd())
+		re := trace.Rebin(s.Slots, c.Config().Volumetric.I)
+		for _, slot := range re {
+			tr.Push(slot)
+			if _, ok := tr.Pattern(); ok {
+				break
+			}
+		}
+		if res, ok := tr.Pattern(); ok {
+			sumMinutes += float64(res.At) * c.Config().Volumetric.I.Minutes()
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no session latched")
+	}
+	mean := sumMinutes / float64(n)
+	if mean > 15 {
+		t.Errorf("mean time-to-inference = %.1f min, want <= 15 (paper: ~5)", mean)
+	}
+}
+
+func TestTrackerLaunchSuppression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains forests")
+	}
+	train := stageSessions(t, 1, 10, 31)
+	c, err := Train(train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := train[0]
+	tr := c.NewTracker(s.LaunchEnd())
+	re := trace.Rebin(s.Slots, c.Config().Volumetric.I)
+	launchSlots := int(s.LaunchEnd() / c.Config().Volumetric.I)
+	for i, slot := range re {
+		r := tr.Push(slot)
+		if i < launchSlots-1 && r.Stage != trace.StageLaunch {
+			t.Fatalf("slot %d classified %v during launch", i, r.Stage)
+		}
+		if i >= launchSlots && r.Stage == trace.StageLaunch {
+			t.Fatalf("slot %d still launch after launch end", i)
+		}
+	}
+}
+
+func TestClassMapping(t *testing.T) {
+	for cl := 0; cl < 3; cl++ {
+		if ClassOf(StageOf(cl)) != cl {
+			t.Errorf("class %d does not round-trip", cl)
+		}
+	}
+	if ClassOf(trace.StageLaunch) != -1 {
+		t.Error("launch must map to -1")
+	}
+	if StageOf(-1) != trace.StageIdle || StageOf(99) != trace.StageIdle {
+		t.Error("out-of-range class must fall back to idle")
+	}
+	if len(StageClassNames()) != 3 || len(PatternClassNames()) != 2 {
+		t.Error("class name counts")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Volumetric.I != time.Second || cfg.Volumetric.Alpha != 0.5 {
+		t.Errorf("volumetric defaults = %+v", cfg.Volumetric)
+	}
+	if cfg.PatternThreshold != 0.75 {
+		t.Errorf("pattern threshold = %v", cfg.PatternThreshold)
+	}
+	if cfg.StageForest.NumTrees != 100 || cfg.PatternForest.NumTrees != 100 {
+		t.Error("forest defaults")
+	}
+}
+
+func TestBuildPatternDatasetLabels(t *testing.T) {
+	sessions := stageSessions(t, 1, 8, 41)
+	d := BuildPatternDataset(sessions, features.DefaultVolumetricConfig())
+	if d.NumSamples() != len(sessions) {
+		t.Fatalf("%d samples for %d sessions", d.NumSamples(), len(sessions))
+	}
+	for i, s := range sessions {
+		if d.Y[i] != int(s.Title.Pattern) {
+			t.Fatalf("session %d label %d, want %d", i, d.Y[i], int(s.Title.Pattern))
+		}
+		var sum float64
+		for _, v := range d.X[i] {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("session %d probabilities sum to %v", i, sum)
+		}
+	}
+}
+
+func TestTransitionAttributesSeparatePatterns(t *testing.T) {
+	// Continuous-play sessions rarely transit active->passive; spectate-
+	// and-play sessions do so often (Fig 5). The transition attributes must
+	// expose that.
+	sessions := stageSessions(t, 2, 30, 51)
+	d := BuildPatternDataset(sessions, features.DefaultVolumetricConfig())
+	names := features.TransitionAttrNames()
+	idx := -1
+	for i, n := range names {
+		if n == "active->passive" {
+			idx = i
+		}
+	}
+	var mean [2]float64
+	var count [2]float64
+	for i := range d.X {
+		mean[d.Y[i]] += d.X[i][idx]
+		count[d.Y[i]]++
+	}
+	for p := range mean {
+		mean[p] /= count[p]
+	}
+	sp, cp := mean[int(gamesim.SpectateAndPlay)], mean[int(gamesim.ContinuousPlay)]
+	if sp <= cp*1.5 {
+		t.Errorf("active->passive: spectate %.4f vs continuous %.4f, want clear separation", sp, cp)
+	}
+}

@@ -1,0 +1,183 @@
+// Package trace defines the primitives a cloud-game streaming session is
+// made of once it has been reduced from raw frames: directed, timestamped
+// payload records and per-slot volumetric aggregates, annotated with the
+// ground-truth player activity stages of the paper (§2.1).
+//
+// The traffic generator (package gamesim) produces these, the feature
+// extractors (package features) consume them, and the pipeline reconstructs
+// them from live packets; keeping them in one small package avoids a
+// dependency cycle between those layers.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Direction distinguishes server→client from client→server records.
+type Direction int8
+
+// Stream directions. Down carries the rendered game video from the cloud
+// server to the player; Up carries player inputs back.
+const (
+	Down Direction = iota
+	Up
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Pkt is one application payload record in a streaming flow: its offset from
+// session start, direction, and RTP payload size in bytes.
+type Pkt struct {
+	T    time.Duration
+	Dir  Direction
+	Size int
+}
+
+// Stage is a player activity stage (§2.1): what the player is doing, as it
+// shapes streaming traffic. Launch is the opening-animation period before
+// gameplay begins.
+type Stage int8
+
+// Player activity stages.
+const (
+	StageLaunch Stage = iota
+	StageIdle
+	StageActive
+	StagePassive
+	numStages
+)
+
+// NumStages is the number of distinct stages.
+const NumStages = int(numStages)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageLaunch:
+		return "launch"
+	case StageIdle:
+		return "idle"
+	case StageActive:
+		return "active"
+	case StagePassive:
+		return "passive"
+	default:
+		return fmt.Sprintf("stage(%d)", int8(s))
+	}
+}
+
+// ParseStage converts a stage name back to its value.
+func ParseStage(s string) (Stage, error) {
+	switch s {
+	case "launch":
+		return StageLaunch, nil
+	case "idle":
+		return StageIdle, nil
+	case "active":
+		return StageActive, nil
+	case "passive":
+		return StagePassive, nil
+	}
+	return 0, fmt.Errorf("trace: unknown stage %q", s)
+}
+
+// Span is a contiguous period of one stage.
+type Span struct {
+	Stage      Stage
+	Start, End time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// StageAt returns the stage covering offset t in spans (which must be sorted
+// and contiguous). It returns the last span's stage for t beyond the end.
+func StageAt(spans []Span, t time.Duration) Stage {
+	for _, s := range spans {
+		if t < s.End {
+			return s.Stage
+		}
+	}
+	if len(spans) == 0 {
+		return StageLaunch
+	}
+	return spans[len(spans)-1].Stage
+}
+
+// SlotDuration is the native aggregation granularity of volumetric slots.
+// 100 ms is fine enough to rebuild every slot size the paper evaluates
+// (0.1 s to 2 s, Fig 10) by summing whole native slots.
+const SlotDuration = 100 * time.Millisecond
+
+// Slot is one native-granularity volumetric aggregate of a session's
+// bidirectional streaming flow, labeled with the ground-truth stage.
+type Slot struct {
+	DownBytes float64
+	DownPkts  float64
+	UpBytes   float64
+	UpPkts    float64
+	Stage     Stage
+}
+
+// Add accumulates a packet of size bytes in direction dir into the slot.
+func (s *Slot) Add(dir Direction, size int) {
+	if dir == Down {
+		s.DownBytes += float64(size)
+		s.DownPkts++
+	} else {
+		s.UpBytes += float64(size)
+		s.UpPkts++
+	}
+}
+
+// Rebin sums consecutive native slots into coarser slots of width I (which
+// must be a positive multiple of SlotDuration; it is rounded down to one).
+// Each output slot takes the stage of the majority of its native slots.
+func Rebin(slots []Slot, i time.Duration) []Slot {
+	n := int(i / SlotDuration)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Slot, 0, (len(slots)+n-1)/n)
+	for start := 0; start < len(slots); start += n {
+		end := start + n
+		if end > len(slots) {
+			end = len(slots)
+		}
+		var agg Slot
+		var stageCount [NumStages]int
+		for _, s := range slots[start:end] {
+			agg.DownBytes += s.DownBytes
+			agg.DownPkts += s.DownPkts
+			agg.UpBytes += s.UpBytes
+			agg.UpPkts += s.UpPkts
+			stageCount[s.Stage]++
+		}
+		best := 0
+		for st, c := range stageCount {
+			if c > stageCount[best] {
+				best = st
+			}
+		}
+		agg.Stage = Stage(best)
+		out = append(out, agg)
+	}
+	return out
+}
+
+// DownThroughputMbps converts a slot of width slotDur to downstream Mbit/s.
+func (s *Slot) DownThroughputMbps(slotDur time.Duration) float64 {
+	return s.DownBytes * 8 / slotDur.Seconds() / 1e6
+}
+
+// UpThroughputKbps converts a slot of width slotDur to upstream Kbit/s.
+func (s *Slot) UpThroughputKbps(slotDur time.Duration) float64 {
+	return s.UpBytes * 8 / slotDur.Seconds() / 1e3
+}

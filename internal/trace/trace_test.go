@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStageStrings(t *testing.T) {
+	cases := map[Stage]string{
+		StageLaunch: "launch", StageIdle: "idle",
+		StageActive: "active", StagePassive: "passive",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+		back, err := ParseStage(want)
+		if err != nil || back != st {
+			t.Errorf("ParseStage(%q) = %v, %v", want, back, err)
+		}
+	}
+	if _, err := ParseStage("warp"); err == nil {
+		t.Error("unknown stage parsed")
+	}
+	if Stage(9).String() != "stage(9)" {
+		t.Errorf("out-of-range String = %q", Stage(9).String())
+	}
+}
+
+func TestStageAt(t *testing.T) {
+	spans := []Span{
+		{StageLaunch, 0, 10 * time.Second},
+		{StageIdle, 10 * time.Second, 40 * time.Second},
+		{StageActive, 40 * time.Second, 100 * time.Second},
+	}
+	for _, tc := range []struct {
+		t    time.Duration
+		want Stage
+	}{
+		{0, StageLaunch},
+		{9*time.Second + 999*time.Millisecond, StageLaunch},
+		{10 * time.Second, StageIdle},
+		{39 * time.Second, StageIdle},
+		{99 * time.Second, StageActive},
+		{5 * time.Minute, StageActive}, // beyond the end: last stage
+	} {
+		if got := StageAt(spans, tc.t); got != tc.want {
+			t.Errorf("StageAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if got := StageAt(nil, time.Second); got != StageLaunch {
+		t.Errorf("StageAt(empty) = %v", got)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{StageIdle, 3 * time.Second, 10 * time.Second}
+	if s.Duration() != 7*time.Second {
+		t.Errorf("Duration = %v", s.Duration())
+	}
+}
+
+func TestSlotAdd(t *testing.T) {
+	var s Slot
+	s.Add(Down, 1000)
+	s.Add(Down, 500)
+	s.Add(Up, 90)
+	if s.DownBytes != 1500 || s.DownPkts != 2 || s.UpBytes != 90 || s.UpPkts != 1 {
+		t.Errorf("slot = %+v", s)
+	}
+}
+
+func TestRebinStageMajority(t *testing.T) {
+	slots := []Slot{
+		{Stage: StageIdle}, {Stage: StageIdle}, {Stage: StageActive},
+		{Stage: StageActive}, {Stage: StageActive},
+	}
+	re := Rebin(slots, 500*time.Millisecond)
+	if len(re) != 1 {
+		t.Fatalf("%d bins", len(re))
+	}
+	if re[0].Stage != StageActive {
+		t.Errorf("majority stage = %v", re[0].Stage)
+	}
+}
+
+func TestRebinTinyWidthClamps(t *testing.T) {
+	slots := []Slot{{DownBytes: 1}, {DownBytes: 2}}
+	re := Rebin(slots, time.Millisecond) // below native width: 1:1
+	if len(re) != 2 {
+		t.Fatalf("%d bins, want 2", len(re))
+	}
+}
+
+// Property: Rebin preserves the four volumetric sums for any slot counts and
+// bin widths.
+func TestRebinConservationProperty(t *testing.T) {
+	f := func(vals []uint16, widthSlots uint8) bool {
+		slots := make([]Slot, len(vals))
+		var wantDown, wantUp float64
+		for i, v := range vals {
+			slots[i] = Slot{
+				DownBytes: float64(v), DownPkts: float64(v % 7),
+				UpBytes: float64(v % 97), UpPkts: float64(v % 3),
+				Stage: Stage(int(v) % NumStages),
+			}
+			wantDown += float64(v)
+			wantUp += float64(v % 97)
+		}
+		w := time.Duration(int(widthSlots)%20+1) * SlotDuration
+		re := Rebin(slots, w)
+		var gotDown, gotUp float64
+		for _, s := range re {
+			gotDown += s.DownBytes
+			gotUp += s.UpBytes
+		}
+		return gotDown == wantDown && gotUp == wantUp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputConversions(t *testing.T) {
+	s := Slot{DownBytes: 125000, UpBytes: 1250} // per 100 ms
+	if got := s.DownThroughputMbps(SlotDuration); got != 10 {
+		t.Errorf("down = %v Mbps, want 10", got)
+	}
+	if got := s.UpThroughputKbps(SlotDuration); got != 100 {
+		t.Errorf("up = %v Kbps, want 100", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Down.String() != "down" || Up.String() != "up" {
+		t.Error("direction names")
+	}
+}
