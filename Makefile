@@ -1,0 +1,28 @@
+# Tier-1 gate and developer shortcuts.
+#
+# `make check` is the full gate: vet, build, and the whole test suite under
+# the race detector (the engine and fleet exercise real concurrency, so the
+# race pass is load-bearing, not ceremonial). `make test` is the quicker
+# ROADMAP tier-1 (build + tests without -race) for inner-loop runs.
+
+GO ?= go
+
+.PHONY: check test build vet race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The engine scaling curve vs the single-threaded pipeline.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards' -benchtime 3x .

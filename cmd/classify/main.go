@@ -3,13 +3,17 @@
 // launch window, tracks player activity stages, infers the gameplay
 // activity pattern, and reports objective vs effective QoE per flow.
 //
+// Analysis runs on the sharded multi-core engine: flows are hash-partitioned
+// across -shards worker pipelines (default: all cores), so large captures
+// with many concurrent flows decode on one core and analyze on the rest.
+//
 // Models are trained on startup from the built-in traffic substrate (or
 // loaded with -title-model if a trained forest was exported by the trainer
 // example).
 //
 // Usage:
 //
-//	classify [-title-model FILE] [-lag MS] [-loss FRAC] capture.pcap
+//	classify [-title-model FILE] [-lag MS] [-loss FRAC] [-shards N] capture.pcap
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	lagMs := flag.Float64("lag", 8, "measured path one-way lag in ms (for QoE grading)")
 	loss := flag.Float64("loss", 0, "measured path loss rate (for QoE grading)")
 	trainSeed := flag.Int64("train-seed", 42, "seed for built-in model training")
+	shards := flag.Int("shards", 0, "analysis worker shards (0 = all cores)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -58,9 +63,12 @@ func main() {
 		log.Printf("loaded title model from %s", *modelPath)
 	}
 
-	pipe := gamelens.NewPipeline(gamelens.PipelineConfig{
-		QoSLag:  time.Duration(*lagMs * float64(time.Millisecond)),
-		QoSLoss: *loss,
+	eng := gamelens.NewEngine(gamelens.EngineConfig{
+		Shards: *shards,
+		Pipeline: gamelens.PipelineConfig{
+			QoSLag:  time.Duration(*lagMs * float64(time.Millisecond)),
+			QoSLoss: *loss,
+		},
 	}, models)
 
 	in, err := os.Open(flag.Arg(0))
@@ -86,11 +94,13 @@ func main() {
 		if err := packet.Decode(rec.Data, &dec); err != nil {
 			continue
 		}
-		pipe.HandlePacket(rec.Timestamp, &dec, dec.Payload)
+		eng.HandlePacket(rec.Timestamp, &dec, dec.Payload)
 	}
-	log.Printf("processed %d frames", frames)
 
-	reports := pipe.Finish()
+	reports := eng.Finish()
+	stats := eng.Stats()
+	log.Printf("processed %d frames on %d shards (%d gaming flows)",
+		frames, stats.Shards, stats.Flows())
 	if len(reports) == 0 {
 		fmt.Println("no cloud-gaming streaming flows detected")
 		return

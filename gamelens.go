@@ -19,6 +19,23 @@
 //   - internal/gamesim, internal/fleet: the lab and ISP-scale traffic
 //     substrates standing in for the paper's datasets
 //   - internal/core: the online Fig 6 pipeline
+//   - internal/engine: the sharded multi-core front-end over the pipeline
+//
+// # Concurrency model
+//
+// Pipeline is deliberately single-threaded: every structure it touches is
+// per-flow, so there is nothing to lock, and one pipeline saturates one
+// core. Engine is the multi-core deployment shape: it hash-partitions
+// packets by canonical flow key across N shards (default GOMAXPROCS), each
+// shard running its own Pipeline fed through a bounded batched channel, and
+// merges the per-shard session reports into one deterministic, sorted
+// result. Because flows are independent and each flow's packets stay on one
+// shard in arrival order, an N-shard Engine reports exactly what a single
+// Pipeline would on the same capture — the property internal/engine's tests
+// pin down. Use Pipeline for offline single-capture analysis; use Engine
+// when ingesting at link rate or feeding from several capture threads
+// (Engine.HandlePacket may be called concurrently as long as each flow is
+// fed from one goroutine).
 //
 // Quickstart:
 //
@@ -28,6 +45,12 @@
 //	for _, report := range pipe.Finish() {
 //	    fmt.Println(report)
 //	}
+//
+// Multi-core ingest swaps NewPipeline for NewEngine:
+//
+//	eng := gamelens.NewEngine(gamelens.EngineConfig{}, models)
+//	// feed decoded packets: eng.HandlePacket(ts, &dec, payload)
+//	reports := eng.Finish()
 package gamelens
 
 import (
@@ -39,6 +62,7 @@ import (
 	"time"
 
 	"gamelens/internal/core"
+	"gamelens/internal/engine"
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
 	"gamelens/internal/stageclass"
@@ -48,10 +72,16 @@ import (
 // Re-exported types: the public API surface downstream users program
 // against.
 type (
-	// Pipeline is the online Fig 6 analysis engine.
+	// Pipeline is the online Fig 6 analysis engine (single-threaded).
 	Pipeline = core.Pipeline
 	// PipelineConfig tunes the pipeline.
 	PipelineConfig = core.Config
+	// Engine is the sharded, concurrent front-end over Pipeline.
+	Engine = engine.Engine
+	// EngineConfig tunes the engine (shards, batching, overload policy).
+	EngineConfig = engine.Config
+	// EngineStats are the engine-level counters.
+	EngineStats = engine.Stats
 	// SessionReport summarizes one streaming flow.
 	SessionReport = core.SessionReport
 	// TitleClassifier is the §4.2 game-title classifier.
@@ -133,6 +163,12 @@ func TrainModelsFromSessions(sessions []*gamesim.Session, seed int64, opts Train
 // NewPipeline assembles an online pipeline around trained models.
 func NewPipeline(cfg PipelineConfig, m *Models) *Pipeline {
 	return core.New(cfg, m.Title, m.Stage)
+}
+
+// NewEngine assembles a sharded multi-core engine around trained models.
+// The zero EngineConfig shards across all available cores.
+func NewEngine(cfg EngineConfig, m *Models) *Engine {
+	return engine.New(cfg, m.Title, m.Stage)
 }
 
 // SaveTitleModel writes the title classifier's forest as JSON. The

@@ -1,0 +1,3 @@
+module gamelens
+
+go 1.22

@@ -294,6 +294,10 @@ func (fs *FlowSession) Report() *SessionReport {
 	return r
 }
 
+// NumFlows returns the number of gaming-flow sessions tracked so far. It is
+// O(1), for callers (like the sharded engine) that export live counters.
+func (p *Pipeline) NumFlows() int { return len(p.flows) }
+
 // Sessions returns all tracked gaming-flow sessions.
 func (p *Pipeline) Sessions() []*FlowSession {
 	out := make([]*FlowSession, 0, len(p.flows))

@@ -1,0 +1,344 @@
+// Package engine is the multi-core front-end over the single-threaded Fig 6
+// pipeline (internal/core). core.Pipeline documents "shard flows across
+// pipelines for multi-core operation (flows are independent)"; this package
+// is that sharding. Decoded frames are hash-partitioned by canonical flow
+// key across N worker shards, each running its own core.Pipeline, so every
+// packet of a flow is processed by the same shard in arrival order and the
+// merged result is identical to one pipeline seeing the whole capture.
+//
+// Producers batch packets into a bounded per-shard channel, amortizing the
+// channel send (and its wakeup) over Config.BatchSize packets. HandlePacket
+// is safe for concurrent use as long as all packets of a flow are fed from
+// one goroutine (per-flow order must be preserved; the usual arrangement is
+// one goroutine per capture port or per PCAP reader).
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gamelens/internal/core"
+	"gamelens/internal/packet"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/titleclass"
+)
+
+// Config tunes the sharded engine.
+type Config struct {
+	// Shards is the number of worker pipelines (default
+	// runtime.GOMAXPROCS(0)).
+	Shards int
+	// BatchSize is the number of packets accumulated before a shard send
+	// (default 64). Larger batches cost latency; smaller ones cost
+	// synchronization.
+	BatchSize int
+	// QueueDepth bounds each shard's channel, in batches (default 128).
+	// A full queue blocks HandlePacket (lossless backpressure) unless
+	// DropOverload is set.
+	QueueDepth int
+	// DropOverload sheds load instead of blocking: when a shard's queue
+	// is full the pending batch is dropped and counted in Stats.Dropped,
+	// matching how a passive tap behaves when a core falls behind.
+	DropOverload bool
+	// Pipeline configures each shard's core pipeline.
+	Pipeline core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	return c
+}
+
+// Stats are the engine-level counters.
+type Stats struct {
+	// Shards is the worker count.
+	Shards int
+	// PacketsIn counts every frame handed to HandlePacket.
+	PacketsIn int64
+	// Processed counts packets the shard workers have consumed; after
+	// Finish, Processed + Dropped == PacketsIn.
+	Processed int64
+	// Dropped counts packets shed under DropOverload.
+	Dropped int64
+	// ShardFlows is the number of gaming flows each shard tracks. Values
+	// are exact after Finish; live reads trail by whatever is still
+	// queued — up to QueueDepth batches plus the pending partial one.
+	ShardFlows []int
+}
+
+// Flows sums the per-shard gaming-flow counts.
+func (s Stats) Flows() int {
+	total := 0
+	for _, n := range s.ShardFlows {
+		total += n
+	}
+	return total
+}
+
+// pkt is one queued packet. The variable-length parts — payload, then any
+// IPv4/TCP options — live contiguously in the owning batch's shared buffer
+// starting at off; the worker re-points the copied Decoded's slice fields
+// there (a shallow *dec copy would keep aliasing the producer's reused
+// decode buffers).
+type pkt struct {
+	ts      time.Time
+	dec     packet.Decoded
+	off, n  int
+	ip4Opts int
+	tcpOpts int
+}
+
+// batch is the unit of shard handoff: a run of packets plus one contiguous
+// payload buffer, so a batch costs a single channel send and at most two
+// slice growths regardless of packet count.
+type batch struct {
+	pkts []pkt
+	buf  []byte
+}
+
+type shard struct {
+	mu      sync.Mutex // serializes producers; held across the send to keep batches FIFO
+	pending batch
+	ch      chan batch
+	free    chan batch // recycled batches, so steady state allocates nothing
+	pipe    *core.Pipeline
+	flows   atomic.Int64
+}
+
+// Engine fans decoded frames out to sharded pipelines and merges their
+// session reports.
+type Engine struct {
+	cfg       Config
+	shards    []*shard
+	wg        sync.WaitGroup
+	packetsIn atomic.Int64
+	processed atomic.Int64
+	dropped   atomic.Int64
+
+	finishOnce sync.Once
+	reports    []*core.SessionReport
+}
+
+// New assembles an engine around trained classifiers. The classifiers are
+// shared across shards (prediction is read-only).
+func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		s := &shard{
+			ch:   make(chan batch, cfg.QueueDepth),
+			free: make(chan batch, cfg.QueueDepth+1),
+			pipe: core.New(cfg.Pipeline, titles, stages),
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.run(s)
+	}
+	return e
+}
+
+// run is one shard's worker loop: drain batches, feed the shard pipeline,
+// recycle the batch.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for b := range s.ch {
+		for i := range b.pkts {
+			p := &b.pkts[i]
+			rest := b.buf[p.off:]
+			payload := rest[:p.n:p.n]
+			p.dec.Payload = payload
+			rest = rest[p.n:]
+			p.dec.IP4.Options = nil
+			if p.ip4Opts > 0 {
+				p.dec.IP4.Options = rest[:p.ip4Opts:p.ip4Opts]
+				rest = rest[p.ip4Opts:]
+			}
+			p.dec.TCP.Options = nil
+			if p.tcpOpts > 0 {
+				p.dec.TCP.Options = rest[:p.tcpOpts:p.tcpOpts]
+			}
+			s.pipe.HandlePacket(p.ts, &p.dec, payload)
+		}
+		s.flows.Store(int64(s.pipe.NumFlows()))
+		e.processed.Add(int64(len(b.pkts)))
+		b.pkts = b.pkts[:0]
+		b.buf = b.buf[:0]
+		select {
+		case s.free <- b:
+		default:
+		}
+	}
+	s.flows.Store(int64(s.pipe.NumFlows()))
+}
+
+// ShardIndex returns the shard a flow key routes to. The hash (FNV-1a over
+// the canonical five-tuple) is fixed, so routing is deterministic across
+// runs and processes: the same flow always lands on the same shard of an
+// N-shard engine.
+func ShardIndex(key packet.FlowKey, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	key = key.Canonical()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	src, dst := key.Src.As16(), key.Dst.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(key.SrcPort >> 8))
+	mix(byte(key.SrcPort))
+	mix(byte(key.DstPort >> 8))
+	mix(byte(key.DstPort))
+	mix(byte(key.Proto))
+	// FNV-1a's low bits barely mix (the prime is odd, so h%2^k follows a
+	// tiny state machine); finalize murmur3-style before reducing so small
+	// shard counts still see a uniform spread.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int(h % uint64(shards))
+}
+
+// HandlePacket routes one decoded frame to its flow's shard. The decoded
+// struct and payload are copied before the call returns, so the caller may
+// reuse both buffers immediately (the cmd/classify read loop does).
+//
+// Multiple goroutines may call HandlePacket concurrently provided each flow
+// is fed from a single goroutine; interleaving packets of one flow across
+// goroutines loses the arrival order the pipeline's slot accounting needs.
+func (e *Engine) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte) {
+	e.packetsIn.Add(1)
+	s := e.shards[ShardIndex(dec.Flow(), len(e.shards))]
+	s.mu.Lock()
+	if s.pending.pkts == nil {
+		s.pending = s.newBatch(e.cfg.BatchSize)
+	}
+	off := len(s.pending.buf)
+	s.pending.buf = append(s.pending.buf, payload...)
+	s.pending.buf = append(s.pending.buf, dec.IP4.Options...)
+	s.pending.buf = append(s.pending.buf, dec.TCP.Options...)
+	s.pending.pkts = append(s.pending.pkts, pkt{
+		ts: ts, dec: *dec, off: off, n: len(payload),
+		ip4Opts: len(dec.IP4.Options), tcpOpts: len(dec.TCP.Options),
+	})
+	if len(s.pending.pkts) >= e.cfg.BatchSize {
+		e.flushLocked(s)
+	}
+	s.mu.Unlock()
+}
+
+// newBatch recycles a drained batch or allocates a fresh one.
+func (s *shard) newBatch(batchSize int) batch {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return batch{pkts: make([]pkt, 0, batchSize)}
+	}
+}
+
+// flushLocked hands the pending batch to the shard worker. The shard mutex
+// is held across the send: that keeps batches FIFO under concurrent
+// producers (per-flow order is the equivalence invariant) and makes a full
+// queue exert backpressure on the producer.
+func (e *Engine) flushLocked(s *shard) {
+	if len(s.pending.pkts) == 0 {
+		return
+	}
+	b := s.pending
+	s.pending = batch{}
+	if e.cfg.DropOverload {
+		select {
+		case s.ch <- b:
+		default:
+			e.dropped.Add(int64(len(b.pkts)))
+			b.pkts = b.pkts[:0]
+			b.buf = b.buf[:0]
+			select {
+			case s.free <- b:
+			default:
+			}
+		}
+		return
+	}
+	s.ch <- b
+}
+
+// Flush pushes all partially filled batches to their shards without waiting
+// for them to drain. Useful at quiet points of a long-running capture so
+// tail packets are not stuck behind the batch threshold.
+func (e *Engine) Flush() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		e.flushLocked(s)
+		s.mu.Unlock()
+	}
+}
+
+// Stats reports the engine counters. ShardFlows entries are exact after
+// Finish; while packets are in flight they trail by the queued backlog.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Shards:     len(e.shards),
+		PacketsIn:  e.packetsIn.Load(),
+		Processed:  e.processed.Load(),
+		Dropped:    e.dropped.Load(),
+		ShardFlows: make([]int, len(e.shards)),
+	}
+	for i, s := range e.shards {
+		st.ShardFlows[i] = int(s.flows.Load())
+	}
+	return st
+}
+
+// Finish flushes queued packets, stops the shard workers, and returns the
+// merged session reports, sorted by flow start time (ties broken by flow
+// key) so the combined result is deterministic regardless of shard count
+// and drain interleaving. Finish is idempotent; HandlePacket must not be
+// called after it.
+func (e *Engine) Finish() []*core.SessionReport {
+	e.finishOnce.Do(func() {
+		for _, s := range e.shards {
+			s.mu.Lock()
+			e.flushLocked(s)
+			close(s.ch)
+			s.mu.Unlock()
+		}
+		e.wg.Wait()
+		for _, s := range e.shards {
+			e.reports = append(e.reports, s.pipe.Finish()...)
+		}
+		sort.Slice(e.reports, func(i, j int) bool {
+			a, b := e.reports[i], e.reports[j]
+			if !a.Flow.FirstSeen.Equal(b.Flow.FirstSeen) {
+				return a.Flow.FirstSeen.Before(b.Flow.FirstSeen)
+			}
+			return a.Flow.Key.String() < b.Flow.Key.String()
+		})
+	})
+	return e.reports
+}

@@ -1,0 +1,297 @@
+package engine_test
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"gamelens/internal/core"
+	"gamelens/internal/engine"
+	"gamelens/internal/flowdetect"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/packet"
+	"gamelens/internal/qoe"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/titleclass"
+	"gamelens/internal/trace"
+)
+
+// Package fixtures: small-but-real classifiers and a seeded multi-flow
+// packet stream, trained/generated once and shared by every test (the
+// seeded-fixture idiom used across this repo's test suites).
+var (
+	modelsOnce sync.Once
+	titleModel *titleclass.Classifier
+	stageModel *stageclass.Classifier
+)
+
+func models(t testing.TB) (*titleclass.Classifier, *stageclass.Classifier) {
+	t.Helper()
+	modelsOnce.Do(func() {
+		rng := rand.New(rand.NewSource(600))
+		var train []*gamesim.Session
+		for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
+			for i := 0; i < 2; i++ {
+				cfg := gamesim.RandomConfig(rng)
+				train = append(train, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
+					600+int64(id)*577+int64(i), gamesim.Options{SessionLength: 10 * time.Minute}))
+			}
+		}
+		var err error
+		titleModel, err = titleclass.Train(train, titleclass.Config{
+			Forest: mlkit.ForestConfig{NumTrees: 30, MaxDepth: 10}, Seed: 61,
+		})
+		if err != nil {
+			panic(err)
+		}
+		stageModel, err = stageclass.Train(train, stageclass.Config{
+			StageForest:   mlkit.ForestConfig{NumTrees: 25, MaxDepth: 10},
+			PatternForest: mlkit.ForestConfig{NumTrees: 25, MaxDepth: 10},
+			Seed:          63,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return titleModel, stageModel
+}
+
+var (
+	streamOnce sync.Once
+	testStream *gamesim.PacketStream
+)
+
+const streamFlows = 6
+
+// sharedStream expands streamFlows seeded sessions (staggered starts, ~2
+// minutes each) once for the whole package.
+func sharedStream(t testing.TB) *gamesim.PacketStream {
+	t.Helper()
+	streamOnce.Do(func() {
+		rng := rand.New(rand.NewSource(77))
+		var sessions []*gamesim.Session
+		for i := 0; i < streamFlows; i++ {
+			id := gamesim.TitleID(i % int(gamesim.NumTitles))
+			sessions = append(sessions, gamesim.Generate(id, gamesim.RandomConfig(rng), gamesim.LabNetwork(),
+				900+int64(i)*131, gamesim.Options{SessionLength: 4 * time.Minute}))
+		}
+		testStream = gamesim.NewPacketStream(sessions, 2*time.Minute,
+			time.Date(2026, 3, 1, 9, 0, 0, 0, time.UTC), 777*time.Millisecond)
+	})
+	return testStream
+}
+
+// feed replays the stream in global timestamp order through handle.
+func feed(t testing.TB, st *gamesim.PacketStream, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) {
+	t.Helper()
+	if err := st.Replay(handle); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+// normReport flattens a SessionReport into a comparable value.
+type normReport struct {
+	Key          string
+	Platform     flowdetect.Platform
+	DownPkts     int
+	UpPkts       int
+	DownBytes    int64
+	Title        titleclass.Result
+	Pattern      stageclass.PatternResult
+	PatternKnown bool
+	StageMinutes [trace.NumStages]float64
+	MeanDownMbps float64
+	Objective    qoe.Level
+	Effective    qoe.Level
+}
+
+func normalize(reports []*core.SessionReport) map[string]normReport {
+	out := make(map[string]normReport, len(reports))
+	for _, r := range reports {
+		out[r.Flow.Key.String()] = normReport{
+			Key:          r.Flow.Key.String(),
+			Platform:     r.Flow.Platform,
+			DownPkts:     r.Flow.DownPkts,
+			UpPkts:       r.Flow.UpPkts,
+			DownBytes:    r.Flow.DownBytes,
+			Title:        r.Title,
+			Pattern:      r.Pattern,
+			PatternKnown: r.PatternKnown,
+			StageMinutes: r.StageMinutes,
+			MeanDownMbps: r.MeanDownMbps,
+			Objective:    r.Objective,
+			Effective:    r.Effective,
+		}
+	}
+	return out
+}
+
+// TestEngineMatchesPipeline is the sharding invariant: for every shard
+// count, the engine's merged reports must be identical (order-normalized)
+// to a single core.Pipeline fed the same capture.
+func TestEngineMatchesPipeline(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+
+	pipe := core.New(core.Config{}, tm, sm)
+	feed(t, st, func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		pipe.HandlePacket(ts, dec, payload)
+	})
+	want := normalize(pipe.Finish())
+	if len(want) != streamFlows {
+		t.Fatalf("baseline pipeline found %d flows, want %d", len(want), streamFlows)
+	}
+
+	tests := []struct {
+		name   string
+		shards int
+		batch  int
+		queue  int
+	}{
+		{"1shard", 1, 64, 128},
+		{"2shards", 2, 64, 128},
+		{"3shards_smallbatch", 3, 4, 8},
+		{"4shards", 4, 64, 128},
+		{"5shards_batch1", 5, 1, 16},
+		{"8shards", 8, 32, 64},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := engine.New(engine.Config{
+				Shards: tc.shards, BatchSize: tc.batch, QueueDepth: tc.queue,
+			}, tm, sm)
+			feed(t, st, eng.HandlePacket)
+			got := normalize(eng.Finish())
+			if len(got) != len(want) {
+				t.Fatalf("engine found %d flows, pipeline found %d", len(got), len(want))
+			}
+			for key, w := range want {
+				g, ok := got[key]
+				if !ok {
+					t.Fatalf("flow %s missing from engine reports", key)
+				}
+				if g != w {
+					t.Errorf("flow %s diverged:\n engine   %+v\n pipeline %+v", key, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestFinishDeterministicOrder checks the merged report order is the same
+// regardless of shard count: sorted by flow start, ties by key.
+func TestFinishDeterministicOrder(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+	var orders [][]string
+	for _, shards := range []int{1, 4, 7} {
+		eng := engine.New(engine.Config{Shards: shards}, tm, sm)
+		feed(t, st, eng.HandlePacket)
+		reports := eng.Finish()
+		var order []string
+		for i, r := range reports {
+			order = append(order, r.Flow.Key.String())
+			if i > 0 && r.Flow.FirstSeen.Before(reports[i-1].Flow.FirstSeen) {
+				t.Errorf("shards=%d: report %d starts before report %d", shards, i, i-1)
+			}
+		}
+		orders = append(orders, order)
+	}
+	for i := 1; i < len(orders); i++ {
+		if len(orders[i]) != len(orders[0]) {
+			t.Fatalf("order length diverged: %v vs %v", orders[i], orders[0])
+		}
+		for j := range orders[i] {
+			if orders[i][j] != orders[0][j] {
+				t.Errorf("report order diverged at %d: %s vs %s", j, orders[i][j], orders[0][j])
+			}
+		}
+	}
+}
+
+// TestShardIndexDeterministic pins the routing function's contract:
+// in-range, direction-independent, and stable across calls.
+func TestShardIndexDeterministic(t *testing.T) {
+	keys := []packet.FlowKey{
+		{Src: netip.MustParseAddr("203.0.113.10"), Dst: netip.MustParseAddr("192.168.1.50"), SrcPort: 49004, DstPort: 54321, Proto: packet.ProtoUDP},
+		{Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2"), SrcPort: 9295, DstPort: 40000, Proto: packet.ProtoUDP},
+		{Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("2001:db8::2"), SrcPort: 9988, DstPort: 51000, Proto: packet.ProtoUDP},
+		{Src: netip.MustParseAddr("198.51.100.7"), Dst: netip.MustParseAddr("198.51.100.8"), SrcPort: 443, DstPort: 52000, Proto: packet.ProtoTCP},
+		{}, // zero key (non-IP frames) must route too, not panic
+	}
+	for _, shards := range []int{1, 2, 3, 4, 8, 16} {
+		for i, k := range keys {
+			got := engine.ShardIndex(k, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("key %d shards=%d: index %d out of range", i, shards, got)
+			}
+			if again := engine.ShardIndex(k, shards); again != got {
+				t.Errorf("key %d shards=%d: unstable index %d vs %d", i, shards, again, got)
+			}
+			if rev := engine.ShardIndex(k.Reverse(), shards); rev != got {
+				t.Errorf("key %d shards=%d: reverse direction routed to %d, forward to %d", i, shards, rev, got)
+			}
+			if shards == 1 && got != 0 {
+				t.Errorf("key %d: single shard must route to 0, got %d", i, got)
+			}
+		}
+	}
+}
+
+// TestShardIndexSpreads checks the hash actually partitions: across many
+// distinct client endpoints every shard of a 4-way engine gets work.
+func TestShardIndexSpreads(t *testing.T) {
+	const shards = 4
+	var hit [shards]int
+	for i := 0; i < 256; i++ {
+		ep := gamesim.FlowEndpoints(i)
+		k := packet.FlowKey{
+			Src: ep.ServerAddr, Dst: ep.ClientAddr,
+			SrcPort: ep.ServerPort, DstPort: ep.ClientPort,
+			Proto: packet.ProtoUDP,
+		}
+		hit[engine.ShardIndex(k, shards)]++
+	}
+	for s, n := range hit {
+		if n == 0 {
+			t.Errorf("shard %d received no flows out of 256", s)
+		}
+	}
+}
+
+// TestEngineStats checks the engine-level counters: packets in, drops, and
+// per-shard flow counts consistent with the routing function.
+func TestEngineStats(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+	const shards = 4
+	eng := engine.New(engine.Config{Shards: shards}, tm, sm)
+	feed(t, st, eng.HandlePacket)
+	reports := eng.Finish()
+
+	stats := eng.Stats()
+	if stats.Shards != shards {
+		t.Errorf("Stats.Shards = %d, want %d", stats.Shards, shards)
+	}
+	if stats.PacketsIn != int64(st.Total) {
+		t.Errorf("PacketsIn = %d, want %d", stats.PacketsIn, st.Total)
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (lossless mode)", stats.Dropped)
+	}
+	if got := stats.Flows(); got != len(reports) {
+		t.Errorf("Stats.Flows() = %d, want %d reports", got, len(reports))
+	}
+	var wantPerShard [shards]int
+	for i := 0; i < streamFlows; i++ {
+		wantPerShard[engine.ShardIndex(st.Key(i), shards)]++
+	}
+	for s := 0; s < shards; s++ {
+		if stats.ShardFlows[s] != wantPerShard[s] {
+			t.Errorf("shard %d tracks %d flows, routing predicts %d", s, stats.ShardFlows[s], wantPerShard[s])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package engine_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gamelens/internal/engine"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/packet"
+)
+
+// TestConcurrentHandlePacket hammers one engine from many producer
+// goroutines (one per flow) while other goroutines poll Stats, then checks
+// the counters and merged reports are coherent. Run it under
+// `go test -race ./internal/engine` — that race pass is the point.
+func TestConcurrentHandlePacket(t *testing.T) {
+	tm, sm := models(t)
+	const (
+		flows  = 12
+		shards = 4
+	)
+	eng := engine.New(engine.Config{
+		Shards: shards, BatchSize: 16, QueueDepth: 8,
+	}, tm, sm)
+
+	base := time.Date(2026, 3, 2, 12, 0, 0, 0, time.UTC)
+	var fed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < flows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1200 + int64(i)))
+			s := gamesim.Generate(gamesim.TitleID(i%int(gamesim.NumTitles)),
+				gamesim.RandomConfig(rng), gamesim.LabNetwork(),
+				1200+int64(i)*17, gamesim.Options{SessionLength: 2 * time.Minute})
+			start := base.Add(time.Duration(i) * 311 * time.Millisecond)
+			err := gamesim.ReplayFlow(s.ExpandPackets(75*time.Second), gamesim.FlowEndpoints(i), start,
+				func(ts time.Time, dec *packet.Decoded, payload []byte) {
+					eng.HandlePacket(ts, dec, payload)
+					fed.Add(1)
+				})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+
+	// Concurrent observers: live Stats reads and a mid-stream Flush must be
+	// race-free against the producers.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := eng.Stats()
+				if st.PacketsIn < 0 || st.Dropped != 0 {
+					t.Error("incoherent live stats")
+					return
+				}
+				eng.Flush()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	reports := eng.Finish()
+
+	stats := eng.Stats()
+	if stats.PacketsIn != fed.Load() {
+		t.Errorf("PacketsIn = %d, want %d", stats.PacketsIn, fed.Load())
+	}
+	if len(reports) != flows {
+		t.Fatalf("got %d session reports, want %d", len(reports), flows)
+	}
+	seen := make(map[string]bool)
+	for _, r := range reports {
+		key := r.Flow.Key.String()
+		if seen[key] {
+			t.Errorf("flow %s reported twice", key)
+		}
+		seen[key] = true
+	}
+	if got := stats.Flows(); got != flows {
+		t.Errorf("Stats.Flows() = %d, want %d", got, flows)
+	}
+}
+
+// TestDropOverload exercises the load-shedding path: a deliberately starved
+// queue must drop batches, count them, and still finish cleanly with
+// coherent counters.
+func TestDropOverload(t *testing.T) {
+	tm, sm := models(t)
+	eng := engine.New(engine.Config{
+		Shards: 2, BatchSize: 2, QueueDepth: 1, DropOverload: true,
+	}, tm, sm)
+
+	base := time.Date(2026, 3, 2, 13, 0, 0, 0, time.UTC)
+	var fed int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(1300 + int64(i)))
+			s := gamesim.Generate(gamesim.TitleID(i%int(gamesim.NumTitles)),
+				gamesim.RandomConfig(rng), gamesim.LabNetwork(),
+				1300+int64(i)*7, gamesim.Options{SessionLength: time.Minute})
+			start := base.Add(time.Duration(i) * 97 * time.Millisecond)
+			n := int64(0)
+			err := gamesim.ReplayFlow(s.ExpandPackets(30*time.Second), gamesim.FlowEndpoints(100+i), start,
+				func(ts time.Time, dec *packet.Decoded, payload []byte) {
+					eng.HandlePacket(ts, dec, payload)
+					n++
+				})
+			if err != nil {
+				t.Error(err)
+			}
+			atomic.AddInt64(&fed, n)
+		}(i)
+	}
+	wg.Wait()
+	eng.Finish()
+
+	stats := eng.Stats()
+	if stats.PacketsIn != fed {
+		t.Errorf("PacketsIn = %d, want %d", stats.PacketsIn, fed)
+	}
+	if stats.Dropped < 0 || stats.Dropped > fed {
+		t.Errorf("Dropped = %d out of range [0, %d]", stats.Dropped, fed)
+	}
+	// Every fed packet must be accounted for exactly once: consumed by a
+	// shard pipeline or counted as shed.
+	if stats.Processed+stats.Dropped != fed {
+		t.Errorf("processed %d + dropped %d != fed %d", stats.Processed, stats.Dropped, fed)
+	}
+}

@@ -9,6 +9,8 @@ package fleet
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"gamelens/internal/gamesim"
@@ -124,24 +126,84 @@ func sampleNetwork(rng *rand.Rand, impairedFrac float64) gamesim.NetworkConditio
 	return n
 }
 
-// Run simulates the deployment and returns one record per session.
-func (d *Deployment) Run() []*SessionRecord {
+// sessionDraw is one pre-sampled population member: everything Run needs to
+// generate and measure session i, drawn from the deployment rng up front so
+// the sequential and concurrent paths see the same population.
+type sessionDraw struct {
+	i     int
+	title gamesim.Title
+	cfg   gamesim.ClientConfig
+	net   gamesim.NetworkConditions
+}
+
+// samplePopulation draws the whole deployment population sequentially from
+// the seeded rng stream.
+func (d *Deployment) samplePopulation() []sessionDraw {
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
-	out := make([]*SessionRecord, 0, d.cfg.Sessions)
-	for i := 0; i < d.cfg.Sessions; i++ {
+	draws := make([]sessionDraw, d.cfg.Sessions)
+	for i := range draws {
 		var title gamesim.Title
 		if rng.Float64() < d.cfg.LongTailFrac {
 			title = gamesim.GenericTitle(int64(rng.Intn(4000)))
 		} else {
 			title = gamesim.TitleByID(gamesim.RandomTitle(rng))
 		}
-		cfg := gamesim.RandomConfig(rng)
-		net := sampleNetwork(rng, d.cfg.ImpairedFrac)
-		s := gamesim.GenerateTitle(title, cfg, net, d.cfg.Seed+int64(i)*6007+11, gamesim.Options{
-			SessionLength: d.cfg.SessionLength,
-		})
-		out = append(out, d.measure(s))
+		draws[i] = sessionDraw{
+			i:     i,
+			title: title,
+			cfg:   gamesim.RandomConfig(rng),
+			net:   sampleNetwork(rng, d.cfg.ImpairedFrac),
+		}
 	}
+	return draws
+}
+
+// runOne generates and measures one pre-sampled session.
+func (d *Deployment) runOne(dr sessionDraw) *SessionRecord {
+	s := gamesim.GenerateTitle(dr.title, dr.cfg, dr.net, d.cfg.Seed+int64(dr.i)*6007+11, gamesim.Options{
+		SessionLength: d.cfg.SessionLength,
+	})
+	return d.measure(s)
+}
+
+// Run simulates the deployment and returns one record per session.
+func (d *Deployment) Run() []*SessionRecord {
+	out := make([]*SessionRecord, 0, d.cfg.Sessions)
+	for _, dr := range d.samplePopulation() {
+		out = append(out, d.runOne(dr))
+	}
+	return out
+}
+
+// RunConcurrent is Run spread across a worker pool, the fleet-scale
+// counterpart of the sharded packet engine: sessions are independent (like
+// flows), so the population is sampled up front from the same seeded rng
+// stream as Run and then generated + measured on workers goroutines
+// (default all cores). The classifiers are shared — prediction is read-only
+// — and every per-session structure (tracker, feature extractor) is worker
+// local, so the records are byte-identical to Run's, in the same order.
+func (d *Deployment) RunConcurrent(workers int) []*SessionRecord {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	draws := d.samplePopulation()
+	out := make([]*SessionRecord, len(draws))
+	jobs := make(chan sessionDraw, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for dr := range jobs {
+				out[dr.i] = d.runOne(dr)
+			}
+		}()
+	}
+	for _, dr := range draws {
+		jobs <- dr
+	}
+	close(jobs)
+	wg.Wait()
 	return out
 }
 

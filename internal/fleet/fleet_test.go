@@ -97,6 +97,31 @@ func TestDeploymentRecordsComplete(t *testing.T) {
 	}
 }
 
+func TestRunConcurrentMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet twice")
+	}
+	tm, sm := models(t)
+	d := New(Config{
+		Sessions:      40,
+		SessionLength: 10 * time.Minute,
+		Seed:          5,
+	}, tm, sm)
+	want := d.Run()
+	for _, workers := range []int{1, 3, 8} {
+		got := d.RunConcurrent(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d records, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if *got[i] != *want[i] {
+				t.Errorf("workers=%d: record %d diverged:\n concurrent %+v\n sequential %+v",
+					workers, i, *got[i], *want[i])
+			}
+		}
+	}
+}
+
 func TestFieldValidationAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains models and simulates a fleet")

@@ -87,6 +87,192 @@ func emitEven(out *[]trace.Pkt, base time.Duration, dir trace.Direction, n int, 
 	}
 }
 
+// Endpoints names the wire identities of one exported session stream. Each
+// distinct Endpoints value yields a distinct flow five-tuple, which is what
+// multi-flow consumers (the sharded engine, its tests and benchmarks) need
+// to keep concurrent sessions apart.
+type Endpoints struct {
+	ServerAddr, ClientAddr netip.Addr
+	ServerPort, ClientPort uint16
+	// SSRCDown / SSRCUp identify the two RTP streams.
+	SSRCDown, SSRCUp uint32
+}
+
+// DefaultEndpoints returns the fixed lab identities WritePCAP uses: a
+// GeForce NOW-style server streaming to one client behind the access
+// gateway.
+func DefaultEndpoints() Endpoints {
+	return Endpoints{
+		ServerAddr: serverAddr, ClientAddr: clientAddr,
+		ServerPort: ServerPort, ClientPort: ClientPort,
+		SSRCDown: 0x47464e01, SSRCUp: 0x47464e02,
+	}
+}
+
+// FlowEndpoints derives distinct per-session identities from an index:
+// clients i spread across 10.0.0.0/8 home networks, all reaching the same
+// GeForce NOW server port. Useful for synthesizing multi-flow captures out
+// of independent sessions.
+func FlowEndpoints(i int) Endpoints {
+	ep := DefaultEndpoints()
+	ep.ClientAddr = netip.AddrFrom4([4]byte{10, byte(i >> 14 & 0x3f), byte(i >> 6), byte(50 + i&0x3f)})
+	ep.ClientPort = uint16(50000 + i%10000)
+	ep.SSRCDown += uint32(2 * i)
+	ep.SSRCUp += uint32(2 * i)
+	return ep
+}
+
+// FrameBuilder synthesizes the Ethernet RTP/UDP frames of one session
+// stream, maintaining the per-direction RTP sequence numbers. The frame
+// returned by Build aliases an internal buffer and is only valid until the
+// next call, mirroring how a capture loop reuses its read buffer.
+type FrameBuilder struct {
+	ep             Endpoints
+	seqDown, seqUp uint16
+	rtpBuf, udpBuf []byte
+	frameBuf       []byte
+	payload        []byte
+}
+
+// NewFrameBuilder starts a frame stream between the given endpoints.
+func NewFrameBuilder(ep Endpoints) *FrameBuilder {
+	return &FrameBuilder{ep: ep, payload: make([]byte, MaxPayload)}
+}
+
+var (
+	serverMAC = packet.MAC{0x02, 0x00, 0x5e, 0x10, 0x00, 0x01}
+	clientMAC = packet.MAC{0x02, 0x00, 0x5e, 0x20, 0x00, 0x02}
+)
+
+// Build encodes one payload record as a full Ethernet frame.
+func (b *FrameBuilder) Build(p trace.Pkt) []byte {
+	var rtp packet.RTP
+	var eth packet.Ethernet
+	var ip packet.IPv4
+	var udp packet.UDP
+	ts90k := uint32(p.T * 90000 / time.Second)
+	if p.Dir == trace.Down {
+		b.seqDown++
+		rtp = packet.RTP{PayloadType: videoPayloadType, SeqNumber: b.seqDown, Timestamp: ts90k, SSRC: b.ep.SSRCDown}
+		eth = packet.Ethernet{Dst: clientMAC, Src: serverMAC, Type: packet.EtherTypeIPv4}
+		ip = packet.IPv4{TTL: 58, Protocol: packet.ProtoUDP, Src: b.ep.ServerAddr, Dst: b.ep.ClientAddr, DontFrag: true}
+		udp = packet.UDP{SrcPort: b.ep.ServerPort, DstPort: b.ep.ClientPort}
+	} else {
+		b.seqUp++
+		rtp = packet.RTP{PayloadType: inputPayloadType, SeqNumber: b.seqUp, Timestamp: ts90k, SSRC: b.ep.SSRCUp}
+		eth = packet.Ethernet{Dst: serverMAC, Src: clientMAC, Type: packet.EtherTypeIPv4}
+		ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: b.ep.ClientAddr, Dst: b.ep.ServerAddr, DontFrag: true}
+		udp = packet.UDP{SrcPort: b.ep.ClientPort, DstPort: b.ep.ServerPort}
+	}
+	body := p.Size - packet.RTPHeaderLen
+	if body < 0 {
+		body = 0
+	}
+	b.rtpBuf = rtp.AppendTo(b.rtpBuf[:0], b.payload[:body])
+	b.udpBuf = udp.AppendTo(b.udpBuf[:0], b.rtpBuf, ip.Src, ip.Dst)
+	b.frameBuf = ip.AppendTo(eth.AppendTo(b.frameBuf[:0]), b.udpBuf)
+	return b.frameBuf
+}
+
+// ReplayFlow replays one flow's payload records as decoded Ethernet frames:
+// each record is rebuilt with a FrameBuilder and decoded into one reused
+// buffer (the aliasing discipline of a live capture loop) before handle is
+// called with start+record offset as its capture timestamp.
+func ReplayFlow(pkts []trace.Pkt, ep Endpoints, start time.Time, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) error {
+	fb := NewFrameBuilder(ep)
+	var dec packet.Decoded
+	for _, p := range pkts {
+		if err := packet.Decode(fb.Build(p), &dec); err != nil {
+			return err
+		}
+		handle(start.Add(p.T), &dec, dec.Payload)
+	}
+	return nil
+}
+
+// PacketStream is a synthesized multi-flow capture feed: one expanded
+// payload-record stream per session, each with its own endpoints and a
+// staggered start so flows interleave the way they do at a gateway tap.
+type PacketStream struct {
+	Flows  [][]trace.Pkt
+	Eps    []Endpoints
+	Starts []time.Time
+	// Total counts packets across all flows.
+	Total int
+}
+
+// NewPacketStream expands up to limit of each session, giving flow i the
+// FlowEndpoints(i) identities and start base + i*stagger.
+func NewPacketStream(sessions []*Session, limit time.Duration, base time.Time, stagger time.Duration) *PacketStream {
+	st := &PacketStream{}
+	for i, s := range sessions {
+		pkts := s.ExpandPackets(limit)
+		st.Flows = append(st.Flows, pkts)
+		st.Eps = append(st.Eps, FlowEndpoints(i))
+		st.Starts = append(st.Starts, base.Add(time.Duration(i)*stagger))
+		st.Total += len(pkts)
+	}
+	return st
+}
+
+// Key returns the canonical five-tuple of flow i.
+func (st *PacketStream) Key(i int) packet.FlowKey {
+	ep := st.Eps[i]
+	return packet.FlowKey{
+		Src: ep.ServerAddr, Dst: ep.ClientAddr,
+		SrcPort: ep.ServerPort, DstPort: ep.ClientPort,
+		Proto: packet.ProtoUDP,
+	}.Canonical()
+}
+
+// Replay hands the whole stream to handle in global timestamp order.
+func (st *PacketStream) Replay(handle func(ts time.Time, dec *packet.Decoded, payload []byte)) error {
+	return ReplayFrames(st.Flows, st.Eps, st.Starts, handle)
+}
+
+// ReplayOne replays just flow i with its own builder and decode buffer,
+// for per-flow feeder goroutines.
+func (st *PacketStream) ReplayOne(i int, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) error {
+	return ReplayFlow(st.Flows[i], st.Eps[i], st.Starts[i], handle)
+}
+
+// ReplayFrames interleaves several per-flow payload-record streams into one
+// capture feed: flow i's records are anchored at starts[i], and frames are
+// handed to handle in global timestamp order (ties to the lower flow
+// index), rebuilt and decoded ReplayFlow-style. It is the simulation-side
+// stand-in for a multi-flow gateway capture; the sharded engine's tests and
+// benchmarks replay with it.
+func ReplayFrames(flows [][]trace.Pkt, eps []Endpoints, starts []time.Time, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) error {
+	builders := make([]*FrameBuilder, len(flows))
+	for i := range builders {
+		builders[i] = NewFrameBuilder(eps[i])
+	}
+	idx := make([]int, len(flows))
+	var dec packet.Decoded
+	for {
+		best := -1
+		var bestTS time.Time
+		for i := range flows {
+			if idx[i] >= len(flows[i]) {
+				continue
+			}
+			ts := starts[i].Add(flows[i][idx[i]].T)
+			if best < 0 || ts.Before(bestTS) {
+				best, bestTS = i, ts
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		frame := builders[best].Build(flows[best][idx[best]])
+		idx[best]++
+		if err := packet.Decode(frame, &dec); err != nil {
+			return err
+		}
+		handle(bestTS, &dec, dec.Payload)
+	}
+}
+
 // WritePCAP serializes the session (up to limit; 0 = all) as an Ethernet
 // PCAP of RTP/UDP frames on GeForce NOW ports, the shape a capture at the
 // lab's access gateway has (§3.1). start anchors the capture timestamps.
@@ -95,42 +281,12 @@ func (s *Session) WritePCAP(w io.Writer, start time.Time, limit time.Duration) e
 	if err != nil {
 		return err
 	}
-	pkts := s.ExpandPackets(limit)
-	var seqDown, seqUp uint16
-	var buf []byte
-	payload := make([]byte, MaxPayload)
-	serverMAC := packet.MAC{0x02, 0x00, 0x5e, 0x10, 0x00, 0x01}
-	clientMAC := packet.MAC{0x02, 0x00, 0x5e, 0x20, 0x00, 0x02}
-	for _, p := range pkts {
-		var rtp packet.RTP
-		var eth packet.Ethernet
-		var ip packet.IPv4
-		var udp packet.UDP
-		ts90k := uint32(p.T * 90000 / time.Second)
-		if p.Dir == trace.Down {
-			seqDown++
-			rtp = packet.RTP{PayloadType: videoPayloadType, SeqNumber: seqDown, Timestamp: ts90k, SSRC: 0x47464e01}
-			eth = packet.Ethernet{Dst: clientMAC, Src: serverMAC, Type: packet.EtherTypeIPv4}
-			ip = packet.IPv4{TTL: 58, Protocol: packet.ProtoUDP, Src: serverAddr, Dst: clientAddr, DontFrag: true}
-			udp = packet.UDP{SrcPort: ServerPort, DstPort: ClientPort}
-		} else {
-			seqUp++
-			rtp = packet.RTP{PayloadType: inputPayloadType, SeqNumber: seqUp, Timestamp: ts90k, SSRC: 0x47464e02}
-			eth = packet.Ethernet{Dst: serverMAC, Src: clientMAC, Type: packet.EtherTypeIPv4}
-			ip = packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: clientAddr, Dst: serverAddr, DontFrag: true}
-			udp = packet.UDP{SrcPort: ClientPort, DstPort: ServerPort}
-		}
-		body := p.Size - packet.RTPHeaderLen
-		if body < 0 {
-			body = 0
-		}
-		rtpBytes := rtp.AppendTo(buf[:0], payload[:body])
-		udpBytes := udp.AppendTo(nil, rtpBytes, ip.Src, ip.Dst)
-		frame := ip.AppendTo(eth.AppendTo(nil), udpBytes)
+	fb := NewFrameBuilder(DefaultEndpoints())
+	for _, p := range s.ExpandPackets(limit) {
+		frame := fb.Build(p)
 		if err := pw.WriteRecord(start.Add(p.T), len(frame), frame); err != nil {
 			return err
 		}
-		buf = rtpBytes
 	}
 	return pw.Flush()
 }
