@@ -1,15 +1,23 @@
 # Tier-1 gate and developer shortcuts.
 #
-# `make check` is the full gate: vet, build, and the whole test suite under
-# the race detector (the engine and fleet exercise real concurrency, so the
-# race pass is load-bearing, not ceremonial). `make test` is the quicker
-# ROADMAP tier-1 (build + tests without -race) for inner-loop runs.
+# `make check` is the full gate: formatting, vet, build, the whole test
+# suite under the race detector (the engine and fleet exercise real
+# concurrency, so the race pass is load-bearing, not ceremonial), and a
+# one-iteration short-mode bench smoke so the lifecycle/engine benchmarks
+# keep compiling and running in CI. `make test` is the quicker ROADMAP
+# tier-1 (build + tests without -race) for inner-loop runs.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check test build vet race bench
+.PHONY: check test build fmt vet race bench benchsmoke
 
-check: vet build race
+check: fmt vet build race benchsmoke
+
+# Fail (and list the offenders) if any file is not gofmt-clean.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +31,12 @@ test: build
 race:
 	$(GO) test -race ./...
 
-# The engine scaling curve vs the single-threaded pipeline.
+# The engine scaling curve vs the single-threaded pipeline, and the
+# lifecycle memory-bound comparison.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction' -benchtime 3x .
+
+# One cheap iteration of the lifecycle bench in short mode: a CI smoke that
+# the bench code compiles and its invariants hold, without bench-grade cost.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEviction' -benchtime 1x -short .

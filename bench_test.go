@@ -308,6 +308,82 @@ func replayParallel(b *testing.B, st *gamesim.PacketStream, handle func(ts time.
 	wg.Wait()
 }
 
+// --- Flow lifecycle ---
+
+var (
+	evictStreamOnce sync.Once
+	evictStream     *gamesim.PacketStream
+)
+
+// evictionStream expands a long capture of many short, mostly-sequential
+// flows (40s each, starting 60s apart): the workload where a TTL-less
+// pipeline accumulates every session while an evicting one holds only the
+// couple that are concurrently live.
+func evictionStream(b *testing.B) *gamesim.PacketStream {
+	b.Helper()
+	c := corpus(b)
+	evictStreamOnce.Do(func() {
+		flows := 18
+		if testing.Short() {
+			flows = 6
+		}
+		var sessions []*gamesim.Session
+		for i := 0; i < flows; i++ {
+			sessions = append(sessions, c.Test[i%len(c.Test)])
+		}
+		evictStream = gamesim.NewPacketStream(sessions, 40*time.Second,
+			time.Date(2026, 4, 2, 6, 0, 0, 0, time.UTC), time.Minute)
+	})
+	return evictStream
+}
+
+// BenchmarkPipelineEviction compares the unbounded baseline (every session
+// resident until Finish) against TTL eviction on a long many-flow capture.
+// live_flows is the peak resident session count — bounded and small under
+// eviction, equal to the total flow count without it — and ReportAllocs
+// shows the per-iteration allocation cost of the lifecycle machinery.
+func BenchmarkPipelineEviction(b *testing.B) {
+	m := engineModels(b)
+	st := evictionStream(b)
+
+	run := func(b *testing.B, cfg PipelineConfig) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		peak := 0
+		for i := 0; i < b.N; i++ {
+			reports := 0
+			cfg.Sink = func(*SessionReport) { reports++ }
+			pipe := NewPipeline(cfg, m)
+			live := 0
+			err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+				pipe.HandlePacket(ts, dec, payload)
+				if n := pipe.NumFlows(); n > live {
+					live = n
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe.Finish()
+			if reports != len(st.Flows) {
+				b.Fatalf("%d reports, want %d", reports, len(st.Flows))
+			}
+			if live > peak {
+				peak = live
+			}
+		}
+		b.ReportMetric(float64(st.Total)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		b.ReportMetric(float64(peak), "live_flows")
+	}
+
+	b.Run("unbounded", func(b *testing.B) {
+		run(b, PipelineConfig{})
+	})
+	b.Run("ttl15s", func(b *testing.B) {
+		run(b, PipelineConfig{FlowTTL: 15 * time.Second})
+	})
+}
+
 // BenchmarkEngineShards replays the same multi-flow capture through the
 // plain single-threaded pipeline (one reader goroutine — the only shape it
 // supports) and through the sharded engine at 1..8 shards fed by one reader

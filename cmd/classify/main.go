@@ -11,9 +11,15 @@
 // loaded with -title-model if a trained forest was exported by the trainer
 // example).
 //
+// With -flow-ttl, the engine runs in streaming mode: flows idle past the
+// TTL (in capture time) are finalized and printed as the replay reaches
+// their expiry, the way a long-running ISP monitor emits them, and memory
+// stays bounded by the number of concurrently active flows instead of the
+// total flow count.
+//
 // Usage:
 //
-//	classify [-title-model FILE] [-lag MS] [-loss FRAC] [-shards N] capture.pcap
+//	classify [-title-model FILE] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] capture.pcap
 package main
 
 import (
@@ -38,6 +44,7 @@ func main() {
 	loss := flag.Float64("loss", 0, "measured path loss rate (for QoE grading)")
 	trainSeed := flag.Int64("train-seed", 42, "seed for built-in model training")
 	shards := flag.Int("shards", 0, "analysis worker shards (0 = all cores)")
+	flowTTL := flag.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -63,13 +70,25 @@ func main() {
 		log.Printf("loaded title model from %s", *modelPath)
 	}
 
-	eng := gamelens.NewEngine(gamelens.EngineConfig{
+	cfg := gamelens.EngineConfig{
 		Shards: *shards,
 		Pipeline: gamelens.PipelineConfig{
 			QoSLag:  time.Duration(*lagMs * float64(time.Millisecond)),
 			QoSLoss: *loss,
+			FlowTTL: *flowTTL,
 		},
-	}, models)
+	}
+	streaming := *flowTTL > 0
+	if streaming {
+		// In streaming mode every report — evicted mid-replay or
+		// finalized by Finish — prints through the sink, in emission
+		// order; the end-of-run loop below is skipped. StreamOnly keeps
+		// the engine from also retaining each report for Finish, so
+		// memory really is bounded by concurrently active flows.
+		cfg.Sink = printReport
+		cfg.StreamOnly = true
+	}
+	eng := gamelens.NewEngine(cfg, models)
 
 	in, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -99,15 +118,24 @@ func main() {
 
 	reports := eng.Finish()
 	stats := eng.Stats()
-	log.Printf("processed %d frames on %d shards (%d gaming flows)",
-		frames, stats.Shards, stats.Flows())
-	if len(reports) == 0 {
+	log.Printf("processed %d frames on %d shards (%d gaming flows, %d evicted by TTL)",
+		frames, stats.Shards, stats.Flows(), stats.EvictedFlows)
+	if stats.EmittedReports == 0 {
 		fmt.Println("no cloud-gaming streaming flows detected")
 		return
 	}
-	for _, rep := range reports {
-		fmt.Println(rep)
-		fmt.Printf("  stage minutes: active %.1f, passive %.1f, idle %.1f\n",
-			rep.StageMinutes[2], rep.StageMinutes[3], rep.StageMinutes[1])
+	if streaming {
+		return // already printed incrementally by the sink
 	}
+	for _, rep := range reports {
+		printReport(rep)
+	}
+}
+
+// printReport renders one session report; in streaming mode it is the
+// engine sink (the engine serializes calls, so plain printing is safe).
+func printReport(rep *gamelens.SessionReport) {
+	fmt.Println(rep)
+	fmt.Printf("  stage minutes: active %.1f, passive %.1f, idle %.1f\n",
+		rep.StageMinutes[2], rep.StageMinutes[3], rep.StageMinutes[1])
 }

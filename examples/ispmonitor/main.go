@@ -3,10 +3,12 @@
 // each session's context in real time, and uses the contexts to tell real
 // network problems apart from low-demand gameplay.
 //
-// It prints the operator's troubleshooting view: sessions the objective QoE
-// module would flag as degraded, split into those the context calibration
-// clears (low-demand titles, passive/idle periods) and those that remain bad
-// — the genuinely network-impaired ones worth an engineer's time.
+// It prints the operator's troubleshooting view continuously: sessions the
+// objective QoE module would flag as degraded stream onto the console the
+// moment they are measured (fleet.RunStream's incremental emission), split
+// into those the context calibration clears (low-demand titles,
+// passive/idle periods) and those that remain bad — the genuinely
+// network-impaired ones worth an engineer's time.
 package main
 
 import (
@@ -32,24 +34,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	const sessions = 120
 	workers := runtime.GOMAXPROCS(0)
-	fmt.Printf("simulating a day of sessions on the access network (%d workers)...\n", workers)
+	fmt.Printf("monitoring a day of sessions on the access network (%d workers)...\n", workers)
 	deployment := fleet.New(fleet.Config{
-		Sessions:      120,
+		Sessions:      sessions,
 		SessionLength: 15 * time.Minute,
 		ImpairedFrac:  0.15,
 		Seed:          99,
 	}, models.Title, models.Stage)
-	// The concurrent path measures sessions on all cores; records are
-	// identical to the sequential deployment.Run (verified by fleet's
-	// tests), just produced ~GOMAXPROCS times faster.
-	records := deployment.RunConcurrent(workers)
 
-	var flagged, cleared, confirmed, impairedCaught int
-	fmt.Println("\nsessions flagged by the objective QoE module:")
-	for i, r := range records {
+	// RunStream measures sessions on all cores and emits each record the
+	// moment its session is measured — the operator's console updates
+	// continuously instead of dumping everything at end of run. Emission
+	// is serialized by fleet, so the counters below need no locking; the
+	// returned slice is still identical to the sequential deployment.Run
+	// (verified by fleet's tests).
+	var measured, flagged, cleared, confirmed, impairedCaught int
+	fmt.Println("\nsessions flagged by the objective QoE module (live):")
+	records := deployment.RunStream(workers, func(r *fleet.SessionRecord) {
+		measured++
 		if r.Objective == qoe.Good {
-			continue
+			return
 		}
 		flagged++
 		name := "unknown title"
@@ -60,25 +66,25 @@ func main() {
 		}
 		if r.Effective == qoe.Good {
 			cleared++
-			fmt.Printf("  session %3d  %-22s obj=%-6v eff=%-6v -> cleared (context: low demand)\n",
-				i, name, r.Objective, r.Effective)
-		} else {
-			confirmed++
-			cause := "congestion/starvation"
-			if r.Net.RTT > 80*time.Millisecond {
-				cause = fmt.Sprintf("high latency (%v RTT)", r.Net.RTT)
-			} else if r.Net.LossRate > 0.02 {
-				cause = fmt.Sprintf("packet loss (%.1f%%)", r.Net.LossRate*100)
-			} else if r.Net.BandwidthMbps > 0 {
-				cause = fmt.Sprintf("bandwidth cap (%.0f Mbps)", r.Net.BandwidthMbps)
-			}
-			fmt.Printf("  session %3d  %-22s obj=%-6v eff=%-6v -> TROUBLESHOOT: %s\n",
-				i, name, r.Objective, r.Effective, cause)
-			if r.Net.Impaired(10) {
-				impairedCaught++
-			}
+			fmt.Printf("  [%3d/%d]  %-22s obj=%-6v eff=%-6v -> cleared (context: low demand)\n",
+				measured, sessions, name, r.Objective, r.Effective)
+			return
 		}
-	}
+		confirmed++
+		cause := "congestion/starvation"
+		if r.Net.RTT > 80*time.Millisecond {
+			cause = fmt.Sprintf("high latency (%v RTT)", r.Net.RTT)
+		} else if r.Net.LossRate > 0.02 {
+			cause = fmt.Sprintf("packet loss (%.1f%%)", r.Net.LossRate*100)
+		} else if r.Net.BandwidthMbps > 0 {
+			cause = fmt.Sprintf("bandwidth cap (%.0f Mbps)", r.Net.BandwidthMbps)
+		}
+		fmt.Printf("  [%3d/%d]  %-22s obj=%-6v eff=%-6v -> TROUBLESHOOT: %s\n",
+			measured, sessions, name, r.Objective, r.Effective, cause)
+		if r.Net.Impaired(10) {
+			impairedCaught++
+		}
+	})
 
 	fmt.Printf("\nsummary: %d sessions, %d flagged objectively, %d cleared by context, %d confirmed degraded\n",
 		len(records), flagged, cleared, confirmed)

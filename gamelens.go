@@ -35,7 +35,30 @@
 // pin down. Use Pipeline for offline single-capture analysis; use Engine
 // when ingesting at link rate or feeding from several capture threads
 // (Engine.HandlePacket may be called concurrently as long as each flow is
-// fed from one goroutine).
+// fed from one goroutine). Report emission is part of the same model:
+// shard pipelines evict and finalize flows on their own worker goroutines,
+// and the Engine serializes all of them through one merged sink, so an
+// EngineConfig.Sink callback never runs concurrently with itself.
+//
+// # Flow lifecycle
+//
+// By default a Pipeline keeps every detected flow's session until Finish —
+// right for bounded captures, unbounded for an ISP tap that runs
+// indefinitely. Setting PipelineConfig.FlowTTL turns on lifecycle
+// management: each flow tracks its last-seen packet timestamp, and
+// amortized sweeps (driven by packet time, never wall clock, so PCAP
+// replay and live capture behave identically) finalize and evict sessions
+// idle past the TTL. Evicted sessions emit their SessionReport immediately
+// through the configured ReportSink with Evicted set and End stamped;
+// Finish finalizes and emits only the remainder. Every flow yields exactly
+// one report either way (a flow idle past the TTL that later resumes is a
+// new flow, as at any stateful middlebox), and with eviction disabled the
+// streamed output is identical to the Finish-only result. Live residency
+// vs cumulative volume is split in EngineStats: ActiveFlows/ShardFlows
+// count resident sessions, Flows()/EvictedFlows the total ever seen. One
+// caveat at engine scale: a shard's eviction clock advances only with its
+// own traffic, so a monitor calls Engine.ExpireIdle at quiet points to
+// sweep shards whose flows have all gone silent.
 //
 // Quickstart:
 //
@@ -51,6 +74,17 @@
 //	eng := gamelens.NewEngine(gamelens.EngineConfig{}, models)
 //	// feed decoded packets: eng.HandlePacket(ts, &dec, payload)
 //	reports := eng.Finish()
+//
+// A continuous monitor adds a TTL and a sink and never needs Finish until
+// shutdown; StreamOnly keeps the engine from retaining the streamed
+// reports for Finish's return value, so memory stays bounded by live
+// flows alone:
+//
+//	eng := gamelens.NewEngine(gamelens.EngineConfig{
+//	    Sink:       func(r *gamelens.SessionReport) { fmt.Println(r) },
+//	    StreamOnly: true,
+//	    Pipeline:   gamelens.PipelineConfig{FlowTTL: 2 * time.Minute},
+//	}, models)
 package gamelens
 
 import (
@@ -84,6 +118,9 @@ type (
 	EngineStats = engine.Stats
 	// SessionReport summarizes one streaming flow.
 	SessionReport = core.SessionReport
+	// ReportSink receives session reports incrementally as flows are
+	// evicted (PipelineConfig.FlowTTL) or finalized at Finish.
+	ReportSink = core.ReportSink
 	// TitleClassifier is the §4.2 game-title classifier.
 	TitleClassifier = titleclass.Classifier
 	// StageClassifier is the §4.3 stage + pattern classifier.

@@ -107,6 +107,53 @@ func TestNewPipelineWired(t *testing.T) {
 	}
 }
 
+// TestEngineLifecycleThroughFacade exercises the streaming deployment
+// shape end to end through the public API: an Engine with a FlowTTL and a
+// ReportSink over a mostly-sequential capture must stream each flow's
+// report as it expires and leave nothing unreported at Finish.
+func TestEngineLifecycleThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	models, err := TrainModels(27, smallTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const flows = 4
+	var sessions []*gamesim.Session
+	for i := 0; i < flows; i++ {
+		sessions = append(sessions, gamesim.Generate(gamesim.TitleID(i),
+			gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60},
+			gamesim.LabNetwork(), 500+int64(i), gamesim.Options{SessionLength: 2 * time.Minute}))
+	}
+	st := gamesim.NewPacketStream(sessions, 45*time.Second,
+		time.Date(2026, 6, 1, 11, 0, 0, 0, time.UTC), 90*time.Second)
+
+	var streamed []*SessionReport // single-reader replay; engine serializes the sink
+	eng := NewEngine(EngineConfig{
+		Shards:   2,
+		Sink:     func(r *SessionReport) { streamed = append(streamed, r) },
+		Pipeline: PipelineConfig{FlowTTL: 20 * time.Second},
+	}, models)
+	if err := st.Replay(eng.HandlePacket); err != nil {
+		t.Fatal(err)
+	}
+	reports := eng.Finish()
+	if len(reports) != flows {
+		t.Fatalf("%d reports, want %d", len(reports), flows)
+	}
+	if len(streamed) != flows {
+		t.Fatalf("sink saw %d reports, want %d", len(streamed), flows)
+	}
+	stats := eng.Stats()
+	if stats.Flows() != flows || stats.ActiveFlows+int(stats.EvictedFlows) != flows {
+		t.Errorf("flow accounting off: %+v", stats)
+	}
+	if stats.EmittedReports != int64(flows) {
+		t.Errorf("EmittedReports = %d, want %d", stats.EmittedReports, flows)
+	}
+}
+
 func TestSaveLoadStageModels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains models")

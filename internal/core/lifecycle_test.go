@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gamelens/internal/gamesim"
+	"gamelens/internal/packet"
+	"gamelens/internal/trace"
+)
+
+// lifecycleStream synthesizes a mostly-sequential multi-flow capture: flows
+// of length each, started stagger apart, so earlier flows go idle while
+// later ones are still feeding — the shape that exercises TTL eviction.
+func lifecycleStream(t testing.TB, flows int, length, stagger time.Duration) *gamesim.PacketStream {
+	t.Helper()
+	var sessions []*gamesim.Session
+	for i := 0; i < flows; i++ {
+		id := gamesim.TitleID(i % int(gamesim.NumTitles))
+		sessions = append(sessions, gamesim.Generate(id,
+			gamesim.ClientConfig{Resolution: gamesim.ResFHD, FPS: 60},
+			gamesim.LabNetwork(), 7000+int64(i)*131,
+			gamesim.Options{SessionLength: length + time.Minute}))
+	}
+	return gamesim.NewPacketStream(sessions, length,
+		time.Date(2026, 5, 1, 8, 0, 0, 0, time.UTC), stagger)
+}
+
+// lifeReport flattens the lifecycle-relevant parts of a report.
+type lifeReport struct {
+	key     string
+	title   string
+	downPkt int
+	mbps    float64
+	end     time.Time
+}
+
+func flatten(reports []*SessionReport) map[string]lifeReport {
+	out := make(map[string]lifeReport, len(reports))
+	for _, r := range reports {
+		out[r.Flow.Key.String()] = lifeReport{
+			key:     r.Flow.Key.String(),
+			title:   r.Title.String(),
+			downPkt: r.Flow.DownPkts,
+			mbps:    r.MeanDownMbps,
+			end:     r.End,
+		}
+	}
+	return out
+}
+
+// TestLifecycleEviction is the table-driven lifecycle contract: with
+// eviction disabled or a TTL longer than any idle gap, the streamed output
+// is identical to the Finish-only baseline and nothing is evicted mid-run;
+// with a short TTL, idle flows are evicted (bounding the live-flow count)
+// and every flow still yields exactly one report with the same content.
+func TestLifecycleEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	flows, length := 6, 90*time.Second
+	if raceEnabled {
+		flows, length = 4, 60*time.Second
+	}
+	st := lifecycleStream(t, flows, length, 2*time.Minute)
+
+	// Baseline: eviction disabled, no sink — the pre-lifecycle behavior.
+	base := New(Config{}, tm, sm)
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		base.HandlePacket(ts, dec, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := flatten(base.Finish())
+	if len(want) != flows {
+		t.Fatalf("baseline found %d flows, want %d", len(want), flows)
+	}
+
+	tests := []struct {
+		name        string
+		ttl         time.Duration
+		sweep       time.Duration
+		wantEvicted bool
+		maxLive     int // 0 = no bound asserted
+	}{
+		{"disabled", 0, 0, false, 0},
+		{"ttl_longer_than_any_gap", time.Hour, 0, false, 0},
+		// Flows start 120s apart and run shorter than that, so each goes
+		// idle before the next begins; a 20s TTL evicts each as its
+		// successor feeds, keeping at most two sessions live.
+		{"short_ttl", 20 * time.Second, 0, true, 2},
+		{"short_ttl_fine_sweep", 20 * time.Second, time.Second, true, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var streamed []*SessionReport
+			p := New(Config{
+				FlowTTL:       tc.ttl,
+				SweepInterval: tc.sweep,
+				Sink:          func(r *SessionReport) { streamed = append(streamed, r) },
+			}, tm, sm)
+			maxLive := 0
+			if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+				p.HandlePacket(ts, dec, payload)
+				if n := p.NumFlows(); n > maxLive {
+					maxLive = n
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			midRun := len(streamed)
+			final := p.Finish()
+
+			if tc.wantEvicted {
+				if midRun == 0 {
+					t.Error("no reports streamed before Finish despite short TTL")
+				}
+				if p.EvictedFlows() == 0 {
+					t.Error("EvictedFlows() == 0 despite short TTL")
+				}
+				if tc.maxLive > 0 && maxLive > tc.maxLive {
+					t.Errorf("live flows peaked at %d, want <= %d (eviction not bounding memory)", maxLive, tc.maxLive)
+				}
+			} else {
+				if midRun != 0 {
+					t.Errorf("%d reports streamed mid-run, want 0", midRun)
+				}
+				if p.EvictedFlows() != 0 {
+					t.Errorf("EvictedFlows() = %d, want 0", p.EvictedFlows())
+				}
+			}
+			for _, r := range streamed[:midRun] {
+				if !r.Evicted {
+					t.Error("mid-run report not marked Evicted")
+				}
+				if r.End.IsZero() {
+					t.Error("evicted report has zero End")
+				}
+			}
+			for _, r := range final {
+				if r.Evicted {
+					t.Error("Finish report marked Evicted")
+				}
+			}
+
+			// Every flow reports exactly once, streamed = evicted + final,
+			// and content matches the Finish-only baseline.
+			if len(streamed) != midRun+len(final) {
+				t.Errorf("sink saw %d reports, want %d evicted + %d final", len(streamed), midRun, len(final))
+			}
+			got := flatten(streamed)
+			if len(got) != len(streamed) {
+				t.Fatalf("duplicate flow keys among %d streamed reports", len(streamed))
+			}
+			if len(got) != len(want) {
+				t.Fatalf("streamed %d distinct flows, baseline has %d", len(got), len(want))
+			}
+			if p.CreatedFlows() != int64(flows) {
+				t.Errorf("CreatedFlows() = %d, want %d", p.CreatedFlows(), flows)
+			}
+			if p.EmittedReports() != int64(len(streamed)) {
+				t.Errorf("EmittedReports() = %d, want %d", p.EmittedReports(), len(streamed))
+			}
+			for key, w := range want {
+				g, ok := got[key]
+				if !ok {
+					t.Fatalf("flow %s missing from streamed reports", key)
+				}
+				if g != w {
+					t.Errorf("flow %s diverged:\n streamed %+v\n baseline %+v", key, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestLifecycleSweepAmortized checks the sweep schedule: with a coarse
+// SweepInterval, eviction happens on interval boundaries of packet time,
+// not per packet, and the packet clock never runs on wall time (replaying
+// instantly must behave identically to the timestamps alone).
+func TestLifecycleSweepAmortized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	st := lifecycleStream(t, 3, time.Minute, 3*time.Minute)
+
+	// A sweep interval far longer than the TTL delays eviction until the
+	// next sweep boundary but must never lose a report.
+	var streamed []*SessionReport
+	p := New(Config{
+		FlowTTL:       15 * time.Second,
+		SweepInterval: 2 * time.Minute,
+		Sink:          func(r *SessionReport) { streamed = append(streamed, r) },
+	}, tm, sm)
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		p.HandlePacket(ts, dec, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	if len(streamed) != 3 {
+		t.Fatalf("streamed %d reports, want 3", len(streamed))
+	}
+	seen := map[string]int{}
+	for _, r := range streamed {
+		seen[r.Flow.Key.String()]++
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("flow %s reported %d times", key, n)
+		}
+	}
+}
+
+// TestExpireIdleForcesSweep pins the manual sweep entry point deployments
+// use at quiet points.
+func TestExpireIdleForcesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	st := lifecycleStream(t, 1, time.Minute, 0)
+
+	evicted := 0
+	p := New(Config{
+		FlowTTL:       10 * time.Second,
+		SweepInterval: time.Hour, // the automatic sweep never fires
+		Sink: func(r *SessionReport) {
+			if r.Evicted {
+				evicted++
+			}
+		},
+	}, tm, sm)
+	var last time.Time
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		p.HandlePacket(ts, dec, payload)
+		last = ts
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumFlows() != 1 {
+		t.Fatalf("%d live flows after replay, want 1", p.NumFlows())
+	}
+	if n := p.ExpireIdle(last.Add(5 * time.Second)); n != 0 {
+		t.Errorf("ExpireIdle before the TTL elapsed evicted %d flows", n)
+	}
+	if n := p.ExpireIdle(last.Add(time.Minute)); n != 1 {
+		t.Errorf("ExpireIdle after the TTL evicted %d flows, want 1", n)
+	}
+	if evicted != 1 || p.NumFlows() != 0 {
+		t.Errorf("evicted=%d live=%d after forced sweep, want 1 and 0", evicted, p.NumFlows())
+	}
+	// A pipeline without a TTL must treat ExpireIdle as a no-op.
+	q := New(Config{}, tm, sm)
+	if n := q.ExpireIdle(last.Add(time.Hour)); n != 0 {
+		t.Errorf("ExpireIdle on TTL-less pipeline evicted %d", n)
+	}
+}
+
+// TestEvictionKeepsSlotAccounting ensures an evicted flow's report carries
+// the same stage-minute accounting the Finish-only path would produce —
+// eviction finalizes, it does not truncate.
+func TestEvictionKeepsSlotAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	length := 2 * time.Minute
+	if raceEnabled {
+		length = time.Minute
+	}
+	st := lifecycleStream(t, 2, length, 3*time.Minute)
+
+	sum := func(r *SessionReport) float64 {
+		var m float64
+		for st, v := range r.StageMinutes {
+			if trace.Stage(st) != trace.StageLaunch {
+				m += v
+			}
+		}
+		return m
+	}
+
+	base := New(Config{}, tm, sm)
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		base.HandlePacket(ts, dec, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantByKey := map[string]float64{}
+	for _, r := range base.Finish() {
+		wantByKey[r.Flow.Key.String()] = sum(r)
+	}
+
+	var streamed []*SessionReport
+	p := New(Config{
+		FlowTTL: 30 * time.Second,
+		Sink:    func(r *SessionReport) { streamed = append(streamed, r) },
+	}, tm, sm)
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		p.HandlePacket(ts, dec, payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish()
+	for _, r := range streamed {
+		want := wantByKey[r.Flow.Key.String()]
+		if got := sum(r); got != want {
+			t.Errorf("flow %s: %.2f classified minutes, baseline %.2f", r.Flow.Key, got, want)
+		}
+	}
+}

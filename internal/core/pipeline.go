@@ -34,6 +34,21 @@ type Config struct {
 	QoSLag time.Duration
 	// QoSLoss is the measured path loss rate for QoE grading.
 	QoSLoss float64
+	// FlowTTL is the idle timeout, in packet time, after which a tracked
+	// flow is finalized, reported (with Evicted set), and dropped. Zero
+	// disables eviction: every session lives until Finish, the bounded-
+	// capture behavior. ISP-scale monitors need a finite TTL or memory
+	// grows with every flow ever seen.
+	FlowTTL time.Duration
+	// SweepInterval bounds how often eviction sweeps run, in packet time
+	// (default FlowTTL/4, floored at one native slot). Smaller intervals
+	// tighten the eviction deadline; larger ones amortize the sweep.
+	SweepInterval time.Duration
+	// Sink, when set, receives every SessionReport incrementally: evicted
+	// flows as their TTL expires mid-run, remaining flows at Finish. Each
+	// flow is reported exactly once. Called synchronously on the
+	// HandlePacket/Finish goroutine.
+	Sink ReportSink
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +57,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QoSLag <= 0 {
 		c.QoSLag = 8 * time.Millisecond
+	}
+	if c.FlowTTL > 0 && c.SweepInterval <= 0 {
+		c.SweepInterval = defaultSweepInterval(c.FlowTTL)
 	}
 	return c
 }
@@ -55,6 +73,7 @@ type Pipeline struct {
 	titles *titleclass.Classifier
 	stages *stageclass.Classifier
 	flows  map[packet.FlowKey]*FlowSession
+	lc     lifecycle
 }
 
 // New assembles a pipeline around trained classifiers.
@@ -66,6 +85,7 @@ func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifie
 		titles: titles,
 		stages: stages,
 		flows:  make(map[packet.FlowKey]*FlowSession),
+		lc:     newLifecycle(cfg),
 	}
 }
 
@@ -74,6 +94,9 @@ type FlowSession struct {
 	Flow *flowdetect.Flow
 	// Start is the first packet's timestamp.
 	Start time.Time
+	// LastSeen is the latest packet's timestamp; the TTL eviction sweep
+	// compares it against the packet clock.
+	LastSeen time.Time
 
 	// Title is the launch-window classification (valid once TitleDecided).
 	Title        titleclass.Result
@@ -120,6 +143,13 @@ type SessionReport struct {
 	MeanDownMbps float64
 	Objective    qoe.Level
 	Effective    qoe.Level
+	// End is the session's last packet timestamp (the report covers
+	// [Flow.FirstSeen, End]). Zero on reports built directly from
+	// FlowSession.Report without finalization.
+	End time.Time
+	// Evicted marks a report produced by TTL eviction of an idle flow
+	// rather than by Finish at end of capture.
+	Evicted bool
 }
 
 // String renders a one-line summary.
@@ -128,13 +158,24 @@ func (r *SessionReport) String() string {
 	if r.PatternKnown {
 		pattern = r.Pattern.Pattern.String()
 	}
-	return fmt.Sprintf("%v title=%v pattern=%s %.1f Mbps QoE obj=%v eff=%v",
-		r.Flow.Key, r.Title, pattern, r.MeanDownMbps, r.Objective, r.Effective)
+	suffix := ""
+	if r.Evicted {
+		suffix = " [evicted]"
+	}
+	return fmt.Sprintf("%v title=%v pattern=%s %.1f Mbps QoE obj=%v eff=%v%s",
+		r.Flow.Key, r.Title, pattern, r.MeanDownMbps, r.Objective, r.Effective, suffix)
 }
 
 // HandlePacket feeds one decoded frame. Returns the flow session when the
 // frame belongs to a detected cloud-gaming flow, else nil.
+//
+// Every frame advances the packet clock, and when FlowTTL is configured a
+// due eviction sweep runs before the frame is processed — so idle flows are
+// evicted by any traffic at the tap, not only by their own packets.
 func (p *Pipeline) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte) *FlowSession {
+	if p.lc.observe(ts) {
+		p.sweep()
+	}
 	state := p.det.Observe(ts, dec, payload)
 	if state != flowdetect.Gaming {
 		return nil
@@ -149,6 +190,13 @@ func (p *Pipeline) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byt
 			tracker: p.stages.NewTracker(p.cfg.LaunchWindow),
 		}
 		p.flows[key] = fs
+		p.lc.created++
+	}
+	// Guard against intra-flow timestamp reordering (multi-queue taps):
+	// an older packet must not regress LastSeen and age the flow toward
+	// eviction it hasn't earned.
+	if ts.After(fs.LastSeen) {
+		fs.LastSeen = ts
 	}
 	p.feed(fs, ts, dec, payload)
 	return fs
@@ -294,29 +342,42 @@ func (fs *FlowSession) Report() *SessionReport {
 	return r
 }
 
-// NumFlows returns the number of gaming-flow sessions tracked so far. It is
-// O(1), for callers (like the sharded engine) that export live counters.
+// NumFlows returns the number of live gaming-flow sessions (created minus
+// evicted). It is O(1), for callers (like the sharded engine) that export
+// live counters.
 func (p *Pipeline) NumFlows() int { return len(p.flows) }
 
-// Sessions returns all tracked gaming-flow sessions.
+// Sessions returns all live (not yet evicted) gaming-flow sessions, in
+// (start, key) order — the same total order the eviction sweep emits in,
+// so streamed output stays deterministic even when flows share a
+// first-packet timestamp.
 func (p *Pipeline) Sessions() []*FlowSession {
 	out := make([]*FlowSession, 0, len(p.flows))
 	for _, fs := range p.flows {
 		out = append(out, fs)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Flow.Key.String() < out[j].Flow.Key.String()
+	})
 	return out
 }
 
-// Finish force-decides pending title classifications (e.g. at end of a
-// capture shorter than the window) and returns final reports.
+// Finish finalizes every still-live session — force-deciding pending title
+// classifications (e.g. at end of a capture shorter than the window) — and
+// returns their reports, emitting each to the configured Sink as well.
+// Sessions already evicted by the TTL sweep were reported when they
+// expired and are not re-reported; with eviction disabled Finish returns
+// every session, the bounded-capture behavior. Call it once, at end of
+// input.
 func (p *Pipeline) Finish() []*SessionReport {
 	var out []*SessionReport
 	for _, fs := range p.Sessions() {
-		if !fs.TitleDecided && len(fs.launchBuf) > 0 {
-			p.decideTitle(fs)
-		}
-		out = append(out, fs.Report())
+		r := p.finalize(fs, false)
+		p.lc.emit(r)
+		out = append(out, r)
 	}
 	return out
 }

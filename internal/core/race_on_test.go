@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the test binary was built with -race. The
+// detector's per-operation instrumentation is ~50x on this workload
+// (packet replay and forest training), so fixtures scale down under it:
+// the same assertions run over smaller captures and lighter models, and
+// the full sizes run in the plain pass. Everything is seeded, so the
+// scaled run is deterministic, not flaky.
+const raceEnabled = true

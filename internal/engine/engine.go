@@ -7,10 +7,20 @@
 // merged result is identical to one pipeline seeing the whole capture.
 //
 // Producers batch packets into a bounded per-shard channel, amortizing the
-// channel send (and its wakeup) over Config.BatchSize packets. HandlePacket
-// is safe for concurrent use as long as all packets of a flow are fed from
-// one goroutine (per-flow order must be preserved; the usual arrangement is
+// channel send (and its wakeup) over an adaptively sized batch (at most
+// Config.BatchSize packets; see Config.FlushLatency). HandlePacket is safe
+// for concurrent use as long as all packets of a flow are fed from one
+// goroutine (per-flow order must be preserved; the usual arrangement is
 // one goroutine per capture port or per PCAP reader).
+//
+// For long-running deployments the engine threads the core flow lifecycle
+// through the shards: each shard's pipeline evicts its own idle flows
+// (Config.Pipeline.FlowTTL), evicted and finished session reports stream
+// through a merged, concurrency-safe engine-level sink (Config.Sink), and
+// Stats separates live residency (ActiveFlows, ShardFlows) from cumulative
+// volume (Flows, EvictedFlows). A shard's eviction clock only advances
+// with its own traffic, so monitors call ExpireIdle at quiet points to
+// sweep shards whose flows have all gone silent.
 package engine
 
 import (
@@ -43,7 +53,31 @@ type Config struct {
 	// is full the pending batch is dropped and counted in Stats.Dropped,
 	// matching how a passive tap behaves when a core falls behind.
 	DropOverload bool
-	// Pipeline configures each shard's core pipeline.
+	// FlushLatency is the batching latency budget for adaptive batch
+	// sizing (default 25ms; negative disables adaptation). Each shard
+	// tracks its observed packet inter-arrival (in packet time, so replay
+	// behaves like live capture) and flushes once the pending batch would
+	// hold FlushLatency worth of traffic: low-rate links flush after a
+	// couple of packets instead of waiting out BatchSize, while high-rate
+	// links still amortize the channel send over full batches. BatchSize
+	// remains the upper bound.
+	FlushLatency time.Duration
+	// Sink, when set, receives every merged SessionReport incrementally —
+	// evicted flows as their Pipeline.FlowTTL expires, the rest at Finish
+	// — serialized by the engine (no two calls run concurrently). The
+	// engine installs its own merged sink into each shard pipeline, so
+	// Pipeline.Sink is ignored; set stream behavior here.
+	Sink core.ReportSink
+	// StreamOnly makes Sink the sole delivery path: reports are not
+	// retained for Finish, which still finalizes the remaining sessions
+	// (delivering them through Sink) but returns nil. Without it the
+	// engine keeps every report so Finish can return the complete set —
+	// per-flow memory a monitor that runs indefinitely and already
+	// consumes the stream should not pay. Ignored (reports are retained)
+	// when Sink is nil, since they would otherwise be lost entirely.
+	StreamOnly bool
+	// Pipeline configures each shard's core pipeline (including the flow
+	// lifecycle: FlowTTL, SweepInterval).
 	Pipeline core.Config
 }
 
@@ -56,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
+	}
+	if c.FlushLatency == 0 {
+		c.FlushLatency = 25 * time.Millisecond
 	}
 	return c
 }
@@ -71,19 +108,35 @@ type Stats struct {
 	Processed int64
 	// Dropped counts packets shed under DropOverload.
 	Dropped int64
-	// ShardFlows is the number of gaming flows each shard tracks. Values
-	// are exact after Finish; live reads trail by whatever is still
-	// queued — up to QueueDepth batches plus the pending partial one.
+	// ActiveFlows is the number of live (post-eviction) gaming flows
+	// across all shards — the number actually resident in memory, which a
+	// finite Pipeline.FlowTTL keeps bounded on long captures.
+	ActiveFlows int
+	// EvictedFlows counts sessions finalized by TTL eviction.
+	EvictedFlows int64
+	// EmittedReports counts reports delivered through the merged sink
+	// (evictions plus Finish finalizations).
+	EmittedReports int64
+	// ShardFlows is the number of live gaming flows each shard tracks,
+	// post-eviction (use Flows for the cumulative count — dashboards that
+	// chart ShardFlows see residency, not volume). Values are exact after
+	// Finish; live reads trail by whatever is still queued — up to
+	// QueueDepth batches plus the pending partial one.
 	ShardFlows []int
+	// ShardBatch is each shard's current adaptive batch threshold, in
+	// packets (== BatchSize when adaptation is disabled or the link runs
+	// hot).
+	ShardBatch []int
 }
 
-// Flows sums the per-shard gaming-flow counts.
+// Flows returns the cumulative gaming-flow count: every flow ever tracked,
+// live or evicted. ActiveFlows is the live subset.
 func (s Stats) Flows() int {
 	total := 0
 	for _, n := range s.ShardFlows {
 		total += n
 	}
-	return total
+	return total + int(s.EvictedFlows)
 }
 
 // pkt is one queued packet. The variable-length parts — payload, then any
@@ -101,10 +154,14 @@ type pkt struct {
 
 // batch is the unit of shard handoff: a run of packets plus one contiguous
 // payload buffer, so a batch costs a single channel send and at most two
-// slice growths regardless of packet count.
+// slice growths regardless of packet count. A batch with a non-zero expire
+// is a control message instead: the worker advances its pipeline's
+// lifecycle clock to that instant and sweeps (Engine.ExpireIdle), which is
+// how eviction reaches a shard whose own traffic has gone quiet.
 type batch struct {
-	pkts []pkt
-	buf  []byte
+	pkts   []pkt
+	buf    []byte
+	expire time.Time
 }
 
 type shard struct {
@@ -113,7 +170,14 @@ type shard struct {
 	ch      chan batch
 	free    chan batch // recycled batches, so steady state allocates nothing
 	pipe    *core.Pipeline
-	flows   atomic.Int64
+	flows   atomic.Int64 // live (post-eviction) sessions
+	evicted atomic.Int64
+
+	// Adaptive batching state (mu-guarded writers; effBatch is atomic so
+	// Stats can read it without the producer lock).
+	lastTS   time.Time
+	ewmaGap  float64 // seconds between packets, exponentially smoothed
+	effBatch atomic.Int64
 }
 
 // Engine fans decoded frames out to sharded pipelines and merges their
@@ -126,6 +190,14 @@ type Engine struct {
 	processed atomic.Int64
 	dropped   atomic.Int64
 
+	// The merged report stream: shard pipelines emit into here (evictions
+	// mid-run, the rest during Finish), serialized by sinkMu; the user
+	// sink, if any, is called under the same lock so it never runs
+	// concurrently with itself.
+	sinkMu   sync.Mutex
+	streamed []*core.SessionReport
+	emitted  atomic.Int64
+
 	finishOnce sync.Once
 	reports    []*core.SessionReport
 }
@@ -135,12 +207,15 @@ type Engine struct {
 func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	pipeCfg := cfg.Pipeline
+	pipeCfg.Sink = e.emit // merged engine-level sink; see Config.Sink
 	for i := range e.shards {
 		s := &shard{
 			ch:   make(chan batch, cfg.QueueDepth),
 			free: make(chan batch, cfg.QueueDepth+1),
-			pipe: core.New(cfg.Pipeline, titles, stages),
+			pipe: core.New(pipeCfg, titles, stages),
 		}
+		s.effBatch.Store(int64(cfg.BatchSize))
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.run(s)
@@ -148,11 +223,33 @@ func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifie
 	return e
 }
 
+// emit is the merged sink every shard pipeline reports into. Shard workers
+// call it concurrently; the mutex serializes appends and user-sink calls.
+// The counter increments under the lock so EmittedReports never trails a
+// delivery the sink has already observed.
+func (e *Engine) emit(r *core.SessionReport) {
+	e.sinkMu.Lock()
+	if !e.cfg.StreamOnly || e.cfg.Sink == nil {
+		e.streamed = append(e.streamed, r)
+	}
+	e.emitted.Add(1)
+	if e.cfg.Sink != nil {
+		e.cfg.Sink(r)
+	}
+	e.sinkMu.Unlock()
+}
+
 // run is one shard's worker loop: drain batches, feed the shard pipeline,
 // recycle the batch.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	for b := range s.ch {
+		if !b.expire.IsZero() {
+			s.pipe.ExpireIdle(b.expire)
+			s.flows.Store(int64(s.pipe.NumFlows()))
+			s.evicted.Store(s.pipe.EvictedFlows())
+			continue
+		}
 		for i := range b.pkts {
 			p := &b.pkts[i]
 			rest := b.buf[p.off:]
@@ -171,6 +268,7 @@ func (e *Engine) run(s *shard) {
 			s.pipe.HandlePacket(p.ts, &p.dec, payload)
 		}
 		s.flows.Store(int64(s.pipe.NumFlows()))
+		s.evicted.Store(s.pipe.EvictedFlows())
 		e.processed.Add(int64(len(b.pkts)))
 		b.pkts = b.pkts[:0]
 		b.buf = b.buf[:0]
@@ -180,6 +278,7 @@ func (e *Engine) run(s *shard) {
 		}
 	}
 	s.flows.Store(int64(s.pipe.NumFlows()))
+	s.evicted.Store(s.pipe.EvictedFlows())
 }
 
 // ShardIndex returns the shard a flow key routes to. The hash (FNV-1a over
@@ -245,10 +344,52 @@ func (e *Engine) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte)
 		ts: ts, dec: *dec, off: off, n: len(payload),
 		ip4Opts: len(dec.IP4.Options), tcpOpts: len(dec.TCP.Options),
 	})
-	if len(s.pending.pkts) >= e.cfg.BatchSize {
+	threshold := e.cfg.BatchSize
+	if e.cfg.FlushLatency > 0 {
+		threshold = int(s.adaptBatch(ts, e.cfg.FlushLatency, e.cfg.BatchSize))
+	}
+	if len(s.pending.pkts) >= threshold {
 		e.flushLocked(s)
 	}
 	s.mu.Unlock()
+}
+
+// adaptBatch updates the shard's inter-arrival estimate from one packet
+// timestamp and returns the batch threshold that keeps batching latency
+// near budget: threshold ≈ budget / mean-gap, clamped to [1, max]. Called
+// with s.mu held. Concurrent producers can deliver timestamps out of order
+// across flows; negative gaps are ignored, and gaps are capped at one
+// second before smoothing — any sustained gap that long already means
+// "flush immediately" (budget/1s < 1 packet), and the cap keeps a single
+// long idle period from dominating the estimate once traffic resumes.
+func (s *shard) adaptBatch(ts time.Time, budget time.Duration, max int) int64 {
+	if !s.lastTS.IsZero() {
+		if gap := ts.Sub(s.lastTS).Seconds(); gap >= 0 {
+			if gap > 1 {
+				gap = 1
+			}
+			const alpha = 0.05 // smooth over ~20 packets
+			if s.ewmaGap == 0 {
+				s.ewmaGap = gap
+			} else {
+				s.ewmaGap += alpha * (gap - s.ewmaGap)
+			}
+		}
+	}
+	if ts.After(s.lastTS) {
+		s.lastTS = ts
+	}
+	eff := int64(max)
+	if s.ewmaGap > 0 {
+		if n := int64(budget.Seconds() / s.ewmaGap); n < eff {
+			eff = n
+		}
+		if eff < 1 {
+			eff = 1
+		}
+	}
+	s.effBatch.Store(eff)
+	return eff
 }
 
 // newBatch recycles a drained batch or allocates a fresh one.
@@ -299,27 +440,71 @@ func (e *Engine) Flush() {
 	}
 }
 
-// Stats reports the engine counters. ShardFlows entries are exact after
-// Finish; while packets are in flight they trail by the queued backlog.
+// ExpireIdle advances every shard's lifecycle clock to now (a packet-time
+// instant, not wall time) and sweeps flows idle past Pipeline.FlowTTL,
+// emitting their reports through the merged sink. Each shard normally
+// evicts on its own packet clock, which never advances while the shard's
+// traffic is quiet — exactly when its flows should be expiring — so
+// long-running monitors call this at quiet points (alongside Flush, with
+// now = the newest capture timestamp seen). Pending batches are flushed
+// first, keeping eviction ordered after every packet already handed in.
+// The sweep runs asynchronously on the shard workers; it is a no-op
+// without a FlowTTL, and must not be called after Finish.
+func (e *Engine) ExpireIdle(now time.Time) {
+	if e.cfg.Pipeline.FlowTTL <= 0 {
+		return
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		e.flushLocked(s)
+		b := batch{expire: now}
+		if e.cfg.DropOverload {
+			// Best-effort under overload, like packet batches: a shard
+			// that can't keep up sheds the sweep rather than stalling the
+			// caller; the next ExpireIdle or packet-driven sweep catches
+			// up.
+			select {
+			case s.ch <- b:
+			default:
+			}
+		} else {
+			s.ch <- b
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats reports the engine counters. ShardFlows/ActiveFlows entries are
+// exact after Finish; while packets are in flight they trail by the queued
+// backlog.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:     len(e.shards),
-		PacketsIn:  e.packetsIn.Load(),
-		Processed:  e.processed.Load(),
-		Dropped:    e.dropped.Load(),
-		ShardFlows: make([]int, len(e.shards)),
+		Shards:         len(e.shards),
+		PacketsIn:      e.packetsIn.Load(),
+		Processed:      e.processed.Load(),
+		Dropped:        e.dropped.Load(),
+		EmittedReports: e.emitted.Load(),
+		ShardFlows:     make([]int, len(e.shards)),
+		ShardBatch:     make([]int, len(e.shards)),
 	}
 	for i, s := range e.shards {
-		st.ShardFlows[i] = int(s.flows.Load())
+		live := int(s.flows.Load())
+		st.ShardFlows[i] = live
+		st.ActiveFlows += live
+		st.ShardBatch[i] = int(s.effBatch.Load())
+		st.EvictedFlows += s.evicted.Load()
 	}
 	return st
 }
 
-// Finish flushes queued packets, stops the shard workers, and returns the
-// merged session reports, sorted by flow start time (ties broken by flow
-// key) so the combined result is deterministic regardless of shard count
-// and drain interleaving. Finish is idempotent; HandlePacket must not be
-// called after it.
+// Finish flushes queued packets, stops the shard workers, finalizes every
+// still-live session (emitting each through the merged sink), and returns
+// the complete merged report set — streamed evictions plus end-of-capture
+// finalizations, every flow exactly once — sorted by flow start time (ties
+// broken by flow key) so the combined result is deterministic regardless
+// of shard count and drain interleaving. Under Config.StreamOnly the sink
+// has already delivered everything and Finish returns nil. Finish is
+// idempotent; HandlePacket must not be called after it.
 func (e *Engine) Finish() []*core.SessionReport {
 	e.finishOnce.Do(func() {
 		for _, s := range e.shards {
@@ -329,9 +514,13 @@ func (e *Engine) Finish() []*core.SessionReport {
 			s.mu.Unlock()
 		}
 		e.wg.Wait()
+		// Per-shard Finish emits the remaining sessions into e.streamed
+		// via the merged sink; the workers have exited, so this goroutine
+		// is the only emitter left.
 		for _, s := range e.shards {
-			e.reports = append(e.reports, s.pipe.Finish()...)
+			s.pipe.Finish()
 		}
+		e.reports = append(e.reports, e.streamed...)
 		sort.Slice(e.reports, func(i, j int) bool {
 			a, b := e.reports[i], e.reports[j]
 			if !a.Flow.FirstSeen.Equal(b.Flow.FirstSeen) {

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"fmt"
 	"math/rand"
 	"net/netip"
 	"sync"
@@ -31,25 +32,29 @@ var (
 func models(t testing.TB) (*titleclass.Classifier, *stageclass.Classifier) {
 	t.Helper()
 	modelsOnce.Do(func() {
+		sessLen, titleTrees, stageTrees := 10*time.Minute, 30, 25
+		if raceEnabled {
+			sessLen, titleTrees, stageTrees = 5*time.Minute, 15, 15
+		}
 		rng := rand.New(rand.NewSource(600))
 		var train []*gamesim.Session
 		for id := gamesim.TitleID(0); id < gamesim.NumTitles; id++ {
 			for i := 0; i < 2; i++ {
 				cfg := gamesim.RandomConfig(rng)
 				train = append(train, gamesim.Generate(id, cfg, gamesim.LabNetwork(),
-					600+int64(id)*577+int64(i), gamesim.Options{SessionLength: 10 * time.Minute}))
+					600+int64(id)*577+int64(i), gamesim.Options{SessionLength: sessLen}))
 			}
 		}
 		var err error
 		titleModel, err = titleclass.Train(train, titleclass.Config{
-			Forest: mlkit.ForestConfig{NumTrees: 30, MaxDepth: 10}, Seed: 61,
+			Forest: mlkit.ForestConfig{NumTrees: titleTrees, MaxDepth: 10}, Seed: 61,
 		})
 		if err != nil {
 			panic(err)
 		}
 		stageModel, err = stageclass.Train(train, stageclass.Config{
-			StageForest:   mlkit.ForestConfig{NumTrees: 25, MaxDepth: 10},
-			PatternForest: mlkit.ForestConfig{NumTrees: 25, MaxDepth: 10},
+			StageForest:   mlkit.ForestConfig{NumTrees: stageTrees, MaxDepth: 10},
+			PatternForest: mlkit.ForestConfig{NumTrees: stageTrees, MaxDepth: 10},
 			Seed:          63,
 		})
 		if err != nil {
@@ -64,21 +69,29 @@ var (
 	testStream *gamesim.PacketStream
 )
 
-const streamFlows = 6
+// streamFlows is the shared stream's flow count: 6 in the plain pass, 3
+// under the race detector (the per-packet instrumentation is ~50x, so the
+// race pass runs the same equivalence matrices over a smaller capture).
+var streamFlows = 6
 
 // sharedStream expands streamFlows seeded sessions (staggered starts, ~2
-// minutes each) once for the whole package.
+// minutes each — 30 seconds under the race detector) once for the whole
+// package.
 func sharedStream(t testing.TB) *gamesim.PacketStream {
 	t.Helper()
 	streamOnce.Do(func() {
+		length, limit := 4*time.Minute, 2*time.Minute
+		if raceEnabled {
+			streamFlows, length, limit = 3, 90*time.Second, 30*time.Second
+		}
 		rng := rand.New(rand.NewSource(77))
 		var sessions []*gamesim.Session
 		for i := 0; i < streamFlows; i++ {
 			id := gamesim.TitleID(i % int(gamesim.NumTitles))
 			sessions = append(sessions, gamesim.Generate(id, gamesim.RandomConfig(rng), gamesim.LabNetwork(),
-				900+int64(i)*131, gamesim.Options{SessionLength: 4 * time.Minute}))
+				900+int64(i)*131, gamesim.Options{SessionLength: length}))
 		}
-		testStream = gamesim.NewPacketStream(sessions, 2*time.Minute,
+		testStream = gamesim.NewPacketStream(sessions, limit,
 			time.Date(2026, 3, 1, 9, 0, 0, 0, time.UTC), 777*time.Millisecond)
 	})
 	return testStream
@@ -258,6 +271,285 @@ func TestShardIndexSpreads(t *testing.T) {
 	for s, n := range hit {
 		if n == 0 {
 			t.Errorf("shard %d received no flows out of 256", s)
+		}
+	}
+}
+
+// TestStreamedMatchesFinish is the lifecycle half of the sharding
+// invariant: at every shard count, the reports streamed through the merged
+// sink (with eviction disabled — the sink only fires at Finish) must be
+// order-normalized identical both to the engine's Finish return and to the
+// single-pipeline Finish-only baseline.
+func TestStreamedMatchesFinish(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+
+	pipe := core.New(core.Config{}, tm, sm)
+	feed(t, st, func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		pipe.HandlePacket(ts, dec, payload)
+	})
+	want := normalize(pipe.Finish())
+
+	for shards := 1; shards <= 8; shards++ {
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			var mu sync.Mutex
+			var streamed []*core.SessionReport
+			eng := engine.New(engine.Config{
+				Shards: shards,
+				Sink: func(r *core.SessionReport) {
+					mu.Lock()
+					streamed = append(streamed, r)
+					mu.Unlock()
+				},
+			}, tm, sm)
+			feed(t, st, eng.HandlePacket)
+			finished := eng.Finish()
+			if len(streamed) != len(finished) {
+				t.Fatalf("sink saw %d reports, Finish returned %d", len(streamed), len(finished))
+			}
+			got := normalize(streamed)
+			if len(got) != len(want) {
+				t.Fatalf("streamed %d distinct flows, baseline has %d", len(got), len(want))
+			}
+			for key, w := range want {
+				g, ok := got[key]
+				if !ok {
+					t.Fatalf("flow %s missing from streamed reports", key)
+				}
+				if g != w {
+					t.Errorf("flow %s diverged:\n streamed %+v\n baseline %+v", key, g, w)
+				}
+			}
+			fromFinish := normalize(finished)
+			for key, w := range fromFinish {
+				if got[key] != w {
+					t.Errorf("flow %s: streamed report differs from Finish report", key)
+				}
+			}
+			if st := eng.Stats(); st.EmittedReports != int64(len(streamed)) {
+				t.Errorf("EmittedReports = %d, want %d", st.EmittedReports, len(streamed))
+			}
+		})
+	}
+}
+
+// TestEngineEvictionBoundsActiveFlows replays a mostly-sequential capture
+// (short flows, long stagger) through a single-shard engine with a finite
+// TTL: flows must be evicted mid-run, the post-Finish active count must
+// stay far below the total, and every flow must still yield exactly one
+// report. Multi-shard counts re-check the exactly-once invariant (eviction
+// there depends on how flows hash across shards, so the eviction count
+// itself is not asserted).
+func TestEngineEvictionBoundsActiveFlows(t *testing.T) {
+	tm, sm := models(t)
+	rng := rand.New(rand.NewSource(55))
+	var sessions []*gamesim.Session
+	const flows = 8
+	for i := 0; i < flows; i++ {
+		id := gamesim.TitleID(i % int(gamesim.NumTitles))
+		sessions = append(sessions, gamesim.Generate(id, gamesim.RandomConfig(rng), gamesim.LabNetwork(),
+			3100+int64(i)*17, gamesim.Options{SessionLength: 3 * time.Minute}))
+	}
+	// 45s flows starting 75s apart: each goes idle 30s before the next
+	// begins, so a 15s TTL keeps at most ~2 flows resident.
+	st := gamesim.NewPacketStream(sessions, 45*time.Second,
+		time.Date(2026, 3, 3, 7, 0, 0, 0, time.UTC), 75*time.Second)
+
+	shardCounts := []int{1, 2, 4, 8}
+	if raceEnabled {
+		shardCounts = []int{1, 4}
+	}
+	for _, shards := range shardCounts {
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			var mu sync.Mutex
+			seen := map[string]int{}
+			eng := engine.New(engine.Config{
+				Shards: shards,
+				Sink: func(r *core.SessionReport) {
+					mu.Lock()
+					seen[r.Flow.Key.String()]++
+					mu.Unlock()
+				},
+				Pipeline: core.Config{FlowTTL: 15 * time.Second},
+			}, tm, sm)
+			feed(t, st, eng.HandlePacket)
+			reports := eng.Finish()
+			if len(reports) != flows {
+				t.Fatalf("%d reports, want %d", len(reports), flows)
+			}
+			for key, n := range seen {
+				if n != 1 {
+					t.Errorf("flow %s reported %d times", key, n)
+				}
+			}
+			stats := eng.Stats()
+			if stats.Flows() != flows {
+				t.Errorf("Stats.Flows() = %d, want %d cumulative", stats.Flows(), flows)
+			}
+			if stats.ActiveFlows+int(stats.EvictedFlows) != flows {
+				t.Errorf("active %d + evicted %d != %d", stats.ActiveFlows, stats.EvictedFlows, flows)
+			}
+			if shards == 1 {
+				// One shard sees the whole packet clock, so eviction is
+				// deterministic: all but the last couple of flows expire
+				// mid-run.
+				if stats.EvictedFlows < flows-2 {
+					t.Errorf("only %d of %d flows evicted on one shard", stats.EvictedFlows, flows)
+				}
+				if stats.ActiveFlows > 2 {
+					t.Errorf("ActiveFlows = %d after Finish, want <= 2 (memory unbounded?)", stats.ActiveFlows)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineExpireIdle pins the quiet-shard eviction path: once a shard's
+// own traffic stops, its packet clock freezes and no TTL can fire — until
+// the monitor calls Engine.ExpireIdle with a later packet-time instant,
+// which must sweep the idle flows and stream their reports before Finish.
+func TestEngineExpireIdle(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+
+	reports := make(chan *core.SessionReport, streamFlows)
+	eng := engine.New(engine.Config{
+		Shards:   4,
+		Sink:     func(r *core.SessionReport) { reports <- r },
+		Pipeline: core.Config{FlowTTL: 30 * time.Second},
+	}, tm, sm)
+	var last time.Time
+	feed(t, st, func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		eng.HandlePacket(ts, dec, payload)
+		if ts.After(last) {
+			last = ts
+		}
+	})
+
+	// All flows are now silent, but shard clocks are frozen at each
+	// shard's last packet. A sweep instant past every flow's TTL horizon
+	// must evict all of them — asynchronously, on the shard workers.
+	eng.ExpireIdle(last.Add(time.Minute))
+	evicted := 0
+	deadline := time.After(30 * time.Second)
+	for evicted < streamFlows {
+		select {
+		case r := <-reports:
+			if !r.Evicted {
+				t.Errorf("flow %s report not marked Evicted", r.Flow.Key)
+			}
+			evicted++
+		case <-deadline:
+			t.Fatalf("only %d of %d flows evicted by ExpireIdle", evicted, streamFlows)
+		}
+	}
+
+	final := eng.Finish()
+	if len(final) != streamFlows {
+		t.Fatalf("Finish returned %d reports, want %d", len(final), streamFlows)
+	}
+	stats := eng.Stats()
+	if int(stats.EvictedFlows) != streamFlows || stats.ActiveFlows != 0 {
+		t.Errorf("evicted=%d active=%d after ExpireIdle, want %d and 0",
+			stats.EvictedFlows, stats.ActiveFlows, streamFlows)
+	}
+	select {
+	case r := <-reports:
+		t.Errorf("unexpected extra report for %s after full eviction", r.Flow.Key)
+	default:
+	}
+}
+
+// TestStreamOnlyDoesNotRetain pins the continuous-monitor memory contract:
+// with StreamOnly, every report reaches the sink exactly once (evictions
+// and shutdown finalizations alike) but Finish returns nil — nothing is
+// retained per flow once its report has been delivered.
+func TestStreamOnlyDoesNotRetain(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+
+	var mu sync.Mutex
+	seen := map[string]int{}
+	eng := engine.New(engine.Config{
+		Shards:     2,
+		StreamOnly: true,
+		Sink: func(r *core.SessionReport) {
+			mu.Lock()
+			seen[r.Flow.Key.String()]++
+			mu.Unlock()
+		},
+		Pipeline: core.Config{FlowTTL: time.Minute},
+	}, tm, sm)
+	feed(t, st, eng.HandlePacket)
+	if got := eng.Finish(); got != nil {
+		t.Errorf("StreamOnly Finish returned %d reports, want nil", len(got))
+	}
+	if len(seen) != streamFlows {
+		t.Fatalf("sink saw %d distinct flows, want %d", len(seen), streamFlows)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("flow %s delivered %d times", key, n)
+		}
+	}
+	if st := eng.Stats(); st.EmittedReports != int64(streamFlows) {
+		t.Errorf("EmittedReports = %d, want %d", st.EmittedReports, streamFlows)
+	}
+}
+
+// TestAdaptiveBatchTrickle pins the low-rate contract the adaptive batcher
+// exists for: on a link slower than one packet per second, the effective
+// threshold must collapse to 1 so every packet flushes immediately instead
+// of waiting out BatchSize.
+func TestAdaptiveBatchTrickle(t *testing.T) {
+	tm, sm := models(t)
+	var pkts []trace.Pkt
+	for i := 0; i < 40; i++ {
+		pkts = append(pkts, trace.Pkt{T: time.Duration(i) * 2 * time.Second, Dir: trace.Down, Size: 1200})
+	}
+	eng := engine.New(engine.Config{Shards: 1, BatchSize: 64, FlushLatency: 25 * time.Millisecond}, tm, sm)
+	err := gamesim.ReplayFlow(pkts, gamesim.FlowEndpoints(900),
+		time.Date(2026, 3, 4, 5, 0, 0, 0, time.UTC), eng.HandlePacket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().ShardBatch[0]; got != 1 {
+		t.Errorf("effective batch on a 0.5 pkt/s trickle = %d, want 1", got)
+	}
+	eng.Finish()
+}
+
+// TestAdaptiveBatchStats checks the adaptive batcher's observable contract:
+// a slow trickle of packets must shrink the effective batch below the
+// configured cap (bounding latency), while disabled adaptation pins it at
+// BatchSize.
+func TestAdaptiveBatchStats(t *testing.T) {
+	tm, sm := models(t)
+	st := sharedStream(t)
+
+	// sharedStream packets arrive hundreds per second per flow; with a
+	// 5ms budget the threshold must adapt below the cap.
+	eng := engine.New(engine.Config{Shards: 2, BatchSize: 512, FlushLatency: 5 * time.Millisecond}, tm, sm)
+	feed(t, st, eng.HandlePacket)
+	adapted := eng.Stats()
+	eng.Finish()
+
+	fixed := engine.New(engine.Config{Shards: 2, BatchSize: 512, FlushLatency: -1}, tm, sm)
+	feed(t, st, fixed.HandlePacket)
+	fixedStats := fixed.Stats()
+	fixed.Finish()
+
+	for i, eff := range adapted.ShardBatch {
+		if eff < 1 || eff > 512 {
+			t.Errorf("shard %d effective batch %d out of [1, 512]", i, eff)
+		}
+		if eff == 512 {
+			t.Errorf("shard %d did not adapt below the cap on a low-rate stream", i)
+		}
+	}
+	for i, eff := range fixedStats.ShardBatch {
+		if eff != 512 {
+			t.Errorf("adaptation disabled but shard %d threshold is %d, want 512", i, eff)
 		}
 	}
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package engine_test
+
+// raceEnabled reports whether the test binary was built with -race. The
+// detector multiplies CPU cost ~10-20x, so the heavy table-driven sweeps
+// (full shard matrices) run their complete grids only in the plain pass
+// and a representative subset under the detector — the race pass is about
+// synchronization, not re-proving the equivalence matrix.
+const raceEnabled = true

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"gamelens/internal/core"
 	"gamelens/internal/engine"
 	"gamelens/internal/gamesim"
 	"gamelens/internal/packet"
@@ -18,10 +19,11 @@ import (
 // `go test -race ./internal/engine` — that race pass is the point.
 func TestConcurrentHandlePacket(t *testing.T) {
 	tm, sm := models(t)
-	const (
-		flows  = 12
-		shards = 4
-	)
+	const shards = 4
+	flows, sessLen, expand := 12, 2*time.Minute, 75*time.Second
+	if raceEnabled {
+		flows, sessLen, expand = 6, time.Minute, 40*time.Second
+	}
 	eng := engine.New(engine.Config{
 		Shards: shards, BatchSize: 16, QueueDepth: 8,
 	}, tm, sm)
@@ -36,9 +38,9 @@ func TestConcurrentHandlePacket(t *testing.T) {
 			rng := rand.New(rand.NewSource(1200 + int64(i)))
 			s := gamesim.Generate(gamesim.TitleID(i%int(gamesim.NumTitles)),
 				gamesim.RandomConfig(rng), gamesim.LabNetwork(),
-				1200+int64(i)*17, gamesim.Options{SessionLength: 2 * time.Minute})
+				1200+int64(i)*17, gamesim.Options{SessionLength: sessLen})
 			start := base.Add(time.Duration(i) * 311 * time.Millisecond)
-			err := gamesim.ReplayFlow(s.ExpandPackets(75*time.Second), gamesim.FlowEndpoints(i), start,
+			err := gamesim.ReplayFlow(s.ExpandPackets(expand), gamesim.FlowEndpoints(i), start,
 				func(ts time.Time, dec *packet.Decoded, payload []byte) {
 					eng.HandlePacket(ts, dec, payload)
 					fed.Add(1)
@@ -94,6 +96,129 @@ func TestConcurrentHandlePacket(t *testing.T) {
 	}
 	if got := stats.Flows(); got != flows {
 		t.Errorf("Stats.Flows() = %d, want %d", got, flows)
+	}
+}
+
+// TestConcurrentSinkConsumer is the lifecycle stress: many producer
+// goroutines feed an engine whose pipelines evict on a short TTL, while the
+// merged sink hands every report to a separate consumer goroutine over a
+// channel and another goroutine polls the lifecycle counters. Run under
+// `go test -race ./internal/engine` — shard workers invoking the sink
+// concurrently with producers, the consumer, and Stats readers is exactly
+// the surface the merged-sink locking must cover.
+func TestConcurrentSinkConsumer(t *testing.T) {
+	tm, sm := models(t)
+	const shards = 4
+	flows := 12
+	if raceEnabled {
+		flows = 8
+	}
+	reports := make(chan *core.SessionReport, flows)
+	// The TTL must exceed each phase's 30s packet-time window: producers
+	// replay at wall speed, so within a phase one flow's packet clock can
+	// run the full window ahead of another's, and a tighter TTL would
+	// evict a flow its producer is still feeding (yielding a duplicate
+	// session — real behavior for a flow idle past the TTL, but not what
+	// this test pins).
+	eng := engine.New(engine.Config{
+		Shards: shards, BatchSize: 16, QueueDepth: 8,
+		Sink: func(r *core.SessionReport) { reports <- r },
+		Pipeline: core.Config{
+			FlowTTL:       45 * time.Second,
+			SweepInterval: 5 * time.Second,
+		},
+	}, tm, sm)
+
+	// Consumer: drain the report stream as it is produced.
+	var consumed sync.WaitGroup
+	consumed.Add(1)
+	seen := map[string]int{}
+	var evictedSeen int
+	go func() {
+		defer consumed.Done()
+		for r := range reports {
+			seen[r.Flow.Key.String()]++
+			if r.Evicted {
+				evictedSeen++
+			}
+		}
+	}()
+
+	base := time.Date(2026, 3, 2, 14, 0, 0, 0, time.UTC)
+	// Two waves of concurrent producers: the first wave's flows all end by
+	// base+30s; the second starts at base+90s, past the first wave's TTL
+	// horizon, so its packets drive eviction of first-wave sessions while
+	// second-wave producers, the consumer, and the Stats poller all run.
+	replayWave := func(lo, hi int, start time.Time) {
+		var wg sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(1400 + int64(i)))
+				s := gamesim.Generate(gamesim.TitleID(i%int(gamesim.NumTitles)),
+					gamesim.RandomConfig(rng), gamesim.LabNetwork(),
+					1400+int64(i)*23, gamesim.Options{SessionLength: time.Minute})
+				err := gamesim.ReplayFlow(s.ExpandPackets(30*time.Second), gamesim.FlowEndpoints(200+i), start,
+					func(ts time.Time, dec *packet.Decoded, payload []byte) {
+						eng.HandlePacket(ts, dec, payload)
+					})
+				if err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Observer: live lifecycle counters must stay coherent while flows
+	// are created and evicted underneath.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := eng.Stats()
+				if st.ActiveFlows < 0 || st.EvictedFlows < 0 ||
+					st.EmittedReports < st.EvictedFlows {
+					t.Errorf("incoherent lifecycle stats: %+v", st)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	replayWave(0, flows/2, base)
+	replayWave(flows/2, flows, base.Add(90*time.Second))
+	close(stop)
+	obs.Wait()
+	final := eng.Finish()
+	close(reports)
+	consumed.Wait()
+
+	if len(final) != flows {
+		t.Fatalf("Finish returned %d reports, want %d", len(final), flows)
+	}
+	if len(seen) != flows {
+		t.Fatalf("consumer saw %d distinct flows, want %d", len(seen), flows)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("flow %s delivered %d times", key, n)
+		}
+	}
+	stats := eng.Stats()
+	if stats.EmittedReports != int64(flows) {
+		t.Errorf("EmittedReports = %d, want %d", stats.EmittedReports, flows)
+	}
+	if int(stats.EvictedFlows) != evictedSeen {
+		t.Errorf("Stats.EvictedFlows = %d but consumer saw %d evicted reports", stats.EvictedFlows, evictedSeen)
 	}
 }
 

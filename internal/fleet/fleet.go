@@ -183,19 +183,38 @@ func (d *Deployment) Run() []*SessionRecord {
 // — and every per-session structure (tracker, feature extractor) is worker
 // local, so the records are byte-identical to Run's, in the same order.
 func (d *Deployment) RunConcurrent(workers int) []*SessionRecord {
+	return d.RunStream(workers, nil)
+}
+
+// RunStream is RunConcurrent with incremental emission, the deployment
+// analogue of the packet engine's report sink: each record is handed to
+// emit as soon as its session is measured, in completion order, so a
+// monitor acts on sessions while the rest of the day is still being
+// processed instead of waiting for the end-of-run dump. Calls to emit are
+// serialized (no two run concurrently); the returned slice is still in
+// population order, byte-identical to Run's. A nil emit degrades to
+// RunConcurrent.
+func (d *Deployment) RunStream(workers int, emit func(*SessionRecord)) []*SessionRecord {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	draws := d.samplePopulation()
 	out := make([]*SessionRecord, len(draws))
 	jobs := make(chan sessionDraw, workers)
+	var emitMu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for dr := range jobs {
-				out[dr.i] = d.runOne(dr)
+				rec := d.runOne(dr)
+				out[dr.i] = rec
+				if emit != nil {
+					emitMu.Lock()
+					emit(rec)
+					emitMu.Unlock()
+				}
 			}
 		}()
 	}

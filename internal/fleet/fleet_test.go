@@ -122,6 +122,45 @@ func TestRunConcurrentMatchesRun(t *testing.T) {
 	}
 }
 
+func TestRunStreamEmitsEveryRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet twice")
+	}
+	tm, sm := models(t)
+	d := New(Config{
+		Sessions:      30,
+		SessionLength: 10 * time.Minute,
+		Seed:          7,
+	}, tm, sm)
+	want := d.Run()
+
+	var emitted []*SessionRecord // emit is serialized, so no lock needed
+	got := d.RunStream(4, func(r *SessionRecord) {
+		emitted = append(emitted, r)
+	})
+	if len(emitted) != len(want) {
+		t.Fatalf("emitted %d records, want %d", len(emitted), len(want))
+	}
+	// Emission order is completion order, but the set must be exactly the
+	// returned records, each exactly once, and the returned slice must
+	// still match the sequential run in population order.
+	seen := make(map[*SessionRecord]bool, len(emitted))
+	for _, r := range emitted {
+		if seen[r] {
+			t.Error("record emitted twice")
+		}
+		seen[r] = true
+	}
+	for i := range want {
+		if !seen[got[i]] {
+			t.Errorf("record %d returned but never emitted", i)
+		}
+		if *got[i] != *want[i] {
+			t.Errorf("record %d diverged from sequential run", i)
+		}
+	}
+}
+
 func TestFieldValidationAccuracy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains models and simulates a fleet")
