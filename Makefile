@@ -10,9 +10,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check test build fmt vet race bench benchsmoke
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke
 
-check: fmt vet build race benchsmoke
+check: fmt vet build race benchsmoke ckptsmoke
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -31,12 +31,20 @@ test: build
 race:
 	$(GO) test -race ./...
 
-# The engine scaling curve vs the single-threaded pipeline, and the
-# lifecycle memory-bound comparison.
+# The engine scaling curve vs the single-threaded pipeline, the lifecycle
+# memory-bound comparison, and the rollup report-stream hot path.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction' -benchtime 3x .
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest' -benchtime 3x .
 
-# One cheap iteration of the lifecycle bench in short mode: a CI smoke that
-# the bench code compiles and its invariants hold, without bench-grade cost.
+# One cheap iteration of the lifecycle and rollup benches in short mode: a
+# CI smoke that the bench code compiles and its invariants hold, without
+# bench-grade cost.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEviction' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEviction|BenchmarkRollupIngest' -benchtime 1x -short .
+
+# Rollup checkpoint round-trip smoke: the snapshot→restore→snapshot
+# identity and the restart-resume equivalence, standalone and fast, so a
+# broken checkpoint format fails CI in seconds rather than deep in the
+# race matrix.
+ckptsmoke:
+	$(GO) test -run 'TestCheckpoint|TestAtomic' -count=1 ./internal/rollup ./internal/persist

@@ -8,6 +8,7 @@ package gamelens
 
 import (
 	"fmt"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
@@ -335,6 +336,45 @@ func evictionStream(b *testing.B) *gamesim.PacketStream {
 			time.Date(2026, 4, 2, 6, 0, 0, 0, time.UTC), time.Minute)
 	})
 	return evictStream
+}
+
+// BenchmarkRollupIngest times the report-stream hot path of the
+// per-subscriber rollup subsystem: folding one finished session into its
+// window bucket. Entry timestamps march forward so the ring keeps
+// rotating (bucket resets included), the steady state of a long-running
+// monitor; subscribers cycle so the map stays hot rather than growing.
+func BenchmarkRollupIngest(b *testing.B) {
+	const subscribers = 256
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	titles := []string{"Fortnite", "Hearthstone", "Dota 2", ""}
+	entries := make([]RollupEntry, 1024)
+	for i := range entries {
+		e := RollupEntry{
+			// byte(i) wraps mod 256 == subscribers, so the 1024 entries
+			// cycle over exactly 256 distinct addresses.
+			Subscriber:   netip.AddrFrom4([4]byte{10, 77, 0, byte(i % subscribers)}),
+			Title:        titles[i%len(titles)],
+			MeanDownMbps: 8 + float64(i%17),
+		}
+		if e.Title == "" {
+			e.Pattern = "continuous-play"
+		}
+		e.StageMinutes[2] = 5.5
+		entries[i] = e
+	}
+	ru := NewRollup(RollupConfig{Window: time.Hour, Buckets: 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		e.End = base.Add(time.Duration(i) * 500 * time.Millisecond)
+		ru.Observe(e)
+	}
+	b.StopTimer()
+	if st := ru.Stats(); st.Ingested != int64(b.N) || st.Late != 0 {
+		b.Fatalf("ingested %d late %d, want %d/0", st.Ingested, st.Late, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
 }
 
 // BenchmarkPipelineEviction compares the unbounded baseline (every session

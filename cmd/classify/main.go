@@ -7,9 +7,9 @@
 // across -shards worker pipelines (default: all cores), so large captures
 // with many concurrent flows decode on one core and analyze on the rest.
 //
-// Models are trained on startup from the built-in traffic substrate (or
-// loaded with -title-model if a trained forest was exported by the trainer
-// example).
+// Models are trained on startup from the built-in traffic substrate with
+// -train-seed (or loaded with -title-model if a trained forest was exported
+// by the trainer example).
 //
 // With -flow-ttl, the engine runs in streaming mode: flows idle past the
 // TTL (in capture time) are finalized and printed as the replay reaches
@@ -17,9 +17,20 @@
 // stays bounded by the number of concurrently active flows instead of the
 // total flow count.
 //
+// With -rollup, every report also feeds a per-subscriber sliding window
+// (session counts, per-title share, stage minutes, objective-vs-effective
+// QoE), printed as an operator dashboard at end of run. -checkpoint makes
+// the window durable: the rollup is restored from the file when it exists
+// (a restarted monitor resumes its aggregations) and atomically rewritten
+// at end of run.
+//
+// The usage line below is usageLine in main.go — flag.Usage and this
+// comment share it as the single source of truth; keep them in sync with
+// gofmt-visible adjacency rather than by hand-maintained duplicates.
+//
 // Usage:
 //
-//	classify [-title-model FILE] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] capture.pcap
+//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] capture.pcap
 package main
 
 import (
@@ -34,7 +45,14 @@ import (
 	"gamelens/internal/packet"
 	"gamelens/internal/pcapio"
 	"gamelens/internal/titleclass"
+	"gamelens/internal/trace"
 )
+
+// usageLine is the one authoritative usage string: flag.Usage prints it,
+// and the package comment's Usage section quotes it. A flag added here must
+// be added to the flag set below (and vice versa) or the mismatch is
+// visible in -h output next to PrintDefaults.
+const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] capture.pcap"
 
 func main() {
 	log.SetFlags(0)
@@ -45,6 +63,12 @@ func main() {
 	trainSeed := flag.Int64("train-seed", 42, "seed for built-in model training")
 	shards := flag.Int("shards", 0, "analysis worker shards (0 = all cores)")
 	flowTTL := flag.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
+	rollupWin := flag.Duration("rollup", 0, "maintain per-subscriber sliding-window aggregates over this window of capture time and print the dashboard at the end (0 = off unless -checkpoint is set, then 1h)")
+	checkpoint := flag.String("checkpoint", "", "rollup checkpoint file: restored at startup when present, atomically rewritten at end of run")
+	flag.Usage = func() {
+		fmt.Fprintln(flag.CommandLine.Output(), usageLine)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -70,6 +94,31 @@ func main() {
 		log.Printf("loaded title model from %s", *modelPath)
 	}
 
+	// The per-subscriber rollup window, possibly resumed from a checkpoint.
+	var ru *gamelens.Rollup
+	if *rollupWin > 0 || *checkpoint != "" {
+		if *checkpoint != "" {
+			if restored, err := gamelens.LoadRollup(*checkpoint); err == nil {
+				ru = restored
+				st := ru.Stats()
+				log.Printf("resumed rollup from %s (%d subscribers, %d sessions ingested, clock %v)",
+					*checkpoint, st.Subscribers, st.Ingested, ru.Clock().Format(time.RFC3339))
+				// A checkpoint carries its own window geometry; resuming
+				// keeps it so the aggregations stay comparable. Flag a
+				// conflicting -rollup rather than silently ignoring it.
+				if *rollupWin > 0 && ru.Config().Window != *rollupWin {
+					log.Printf("warning: -rollup %v ignored; checkpoint window is %v (delete %s to change geometry)",
+						*rollupWin, ru.Config().Window, *checkpoint)
+				}
+			} else if !os.IsNotExist(err) {
+				log.Fatalf("restoring rollup: %v", err)
+			}
+		}
+		if ru == nil {
+			ru = gamelens.NewRollup(gamelens.RollupConfig{Window: *rollupWin})
+		}
+	}
+
 	cfg := gamelens.EngineConfig{
 		Shards: *shards,
 		Pipeline: gamelens.PipelineConfig{
@@ -79,14 +128,21 @@ func main() {
 		},
 	}
 	streaming := *flowTTL > 0
-	if streaming {
-		// In streaming mode every report — evicted mid-replay or
-		// finalized by Finish — prints through the sink, in emission
-		// order; the end-of-run loop below is skipped. StreamOnly keeps
-		// the engine from also retaining each report for Finish, so
-		// memory really is bounded by concurrently active flows.
+	switch {
+	case streaming && ru != nil:
+		rollupSink := ru.Sink()
+		cfg.Sink = func(r *gamelens.SessionReport) { printReport(r); rollupSink(r) }
+		cfg.StreamOnly = true
+	case streaming:
+		// In streaming mode every report — evicted mid-replay or finalized
+		// by Finish — prints through the sink, in emission order; the
+		// end-of-run loop below is skipped. StreamOnly keeps the engine
+		// from also retaining each report for Finish, so memory really is
+		// bounded by concurrently active flows.
 		cfg.Sink = printReport
 		cfg.StreamOnly = true
+	case ru != nil:
+		cfg.Sink = ru.Sink()
 	}
 	eng := gamelens.NewEngine(cfg, models)
 
@@ -122,20 +178,42 @@ func main() {
 		frames, stats.Shards, stats.Flows(), stats.EvictedFlows)
 	if stats.EmittedReports == 0 {
 		fmt.Println("no cloud-gaming streaming flows detected")
-		return
+	} else if !streaming {
+		for _, rep := range reports {
+			printReport(rep)
+		}
 	}
-	if streaming {
-		return // already printed incrementally by the sink
-	}
-	for _, rep := range reports {
-		printReport(rep)
+	if ru != nil {
+		printRollup(ru)
+		if *checkpoint != "" {
+			if err := ru.SaveFile(*checkpoint); err != nil {
+				log.Fatalf("checkpointing rollup: %v", err)
+			}
+			log.Printf("rollup checkpointed to %s", *checkpoint)
+		}
 	}
 }
 
-// printReport renders one session report; in streaming mode it is the
-// engine sink (the engine serializes calls, so plain printing is safe).
+// printReport renders one session report; in streaming mode it is (part of)
+// the engine sink (the engine serializes calls, so plain printing is safe).
 func printReport(rep *gamelens.SessionReport) {
 	fmt.Println(rep)
 	fmt.Printf("  stage minutes: active %.1f, passive %.1f, idle %.1f\n",
-		rep.StageMinutes[2], rep.StageMinutes[3], rep.StageMinutes[1])
+		rep.StageMinutes[trace.StageActive], rep.StageMinutes[trace.StagePassive],
+		rep.StageMinutes[trace.StageIdle])
+}
+
+// printRollup renders the per-subscriber dashboard for the current window.
+func printRollup(ru *gamelens.Rollup) {
+	aggs := ru.Subscribers()
+	fmt.Printf("\nper-subscriber window (clock %v, %d subscribers):\n",
+		ru.Clock().Format(time.RFC3339), len(aggs))
+	for _, a := range aggs {
+		w := a.Window
+		fmt.Printf("  %-15v %3d sessions (%d evicted)  active %5.1fm passive %5.1fm idle %5.1fm  %5.1f Mbps  QoE good obj %3.0f%% eff %3.0f%%\n",
+			a.Subscriber, w.Sessions, w.Evicted,
+			w.StageMinutes[trace.StageActive], w.StageMinutes[trace.StagePassive],
+			w.StageMinutes[trace.StageIdle], w.MeanDownMbps(),
+			w.GoodShare(false)*100, w.GoodShare(true)*100)
+	}
 }

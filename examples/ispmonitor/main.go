@@ -3,24 +3,44 @@
 // each session's context in real time, and uses the contexts to tell real
 // network problems apart from low-demand gameplay.
 //
-// It prints the operator's troubleshooting view continuously: sessions the
-// objective QoE module would flag as degraded stream onto the console the
-// moment they are measured (fleet.RunStream's incremental emission), split
-// into those the context calibration clears (low-demand titles,
-// passive/idle periods) and those that remain bad — the genuinely
-// network-impaired ones worth an engineer's time.
+// The troubleshooting view streams continuously: sessions the objective QoE
+// module would flag as degraded print the moment they are measured
+// (fleet.RunStream's incremental emission), split into those the context
+// calibration clears and those that remain bad. At the same time every
+// record feeds a per-subscriber rollup window (fleet.RollupSink), and the
+// run closes with the operator dashboard: per-subscriber session counts,
+// stage minutes, throughput, and the objective-vs-effective QoE mix.
+//
+// The monitor is restartable: it checkpoints the rollup mid-day (an atomic
+// write-temp-rename), restores it into a fresh rollup as a restarted
+// process would, replays the rest of the day, and verifies the resumed
+// window is byte-identical to an uninterrupted one — the §5 requirement
+// that a monitor restart must not lose the day's Fig 11–13 aggregations.
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"gamelens"
 	"gamelens/internal/fleet"
 	"gamelens/internal/qoe"
+	"gamelens/internal/trace"
 )
+
+const (
+	sessions    = 120
+	subscribers = 24              // several sessions per subscriber household
+	stagger     = 7 * time.Minute // session start spacing on the simulated day
+)
+
+// dayStart anchors the simulated packet-time day.
+var dayStart = time.Date(2026, 7, 30, 6, 0, 0, 0, time.UTC)
 
 func main() {
 	log.SetFlags(0)
@@ -34,15 +54,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const sessions = 120
 	workers := runtime.GOMAXPROCS(0)
 	fmt.Printf("monitoring a day of sessions on the access network (%d workers)...\n", workers)
 	deployment := fleet.New(fleet.Config{
 		Sessions:      sessions,
+		LongTailFrac:  -1, // the paper's Table 1 population mix
 		SessionLength: 15 * time.Minute,
 		ImpairedFrac:  0.15,
 		Seed:          99,
 	}, models.Title, models.Stage)
+
+	// The live window: the whole simulated day, sliced into hour buckets.
+	live := gamelens.NewRollup(gamelens.RollupConfig{Window: 24 * time.Hour, Buckets: 24})
+	rollupSink := fleet.RollupSink(live, dayStart, stagger, subscribers)
 
 	// RunStream measures sessions on all cores and emits each record the
 	// moment its session is measured — the operator's console updates
@@ -53,6 +77,7 @@ func main() {
 	var measured, flagged, cleared, confirmed, impairedCaught int
 	fmt.Println("\nsessions flagged by the objective QoE module (live):")
 	records := deployment.RunStream(workers, func(r *fleet.SessionRecord) {
+		rollupSink(r)
 		measured++
 		if r.Objective == qoe.Good {
 			return
@@ -95,4 +120,87 @@ func main() {
 	v := fleet.Validate(records)
 	fmt.Printf("field validation vs server logs: title accuracy %.1f%% on %d confident labels\n",
 		v.TitleAccuracy()*100, v.KnownResults)
+
+	printDashboard(live)
+	demonstrateRestart(records)
+}
+
+// printDashboard renders the per-subscriber operator view of the window.
+func printDashboard(ru *gamelens.Rollup) {
+	aggs := ru.Subscribers()
+	total := ru.Total()
+	fmt.Printf("\nper-subscriber dashboard (window clock %v, %d subscribers, %d sessions):\n",
+		ru.Clock().Format("15:04:05"), len(aggs), total.Sessions)
+	fmt.Println("  subscriber       sessions   active/passive/idle min      Mbps   good obj->eff")
+	for _, a := range aggs {
+		w := a.Window
+		top := ""
+		var topN int64
+		for name, n := range w.Titles {
+			if n > topN || (n == topN && name < top) {
+				top, topN = name, n
+			}
+		}
+		if top == "" {
+			top = "(long tail)"
+		}
+		fmt.Printf("  %-15v   %3d      %6.1f / %6.1f / %6.1f   %7.1f    %3.0f%% -> %3.0f%%   %s\n",
+			a.Subscriber, w.Sessions,
+			w.StageMinutes[trace.StageActive], w.StageMinutes[trace.StagePassive],
+			w.StageMinutes[trace.StageIdle], w.MeanDownMbps(),
+			w.GoodShare(false)*100, w.GoodShare(true)*100, top)
+	}
+}
+
+// demonstrateRestart replays the monitor-restart scenario on the
+// population-ordered record log: half the day is ingested and checkpointed
+// to disk, a fresh rollup restores the checkpoint (as a restarted process
+// would), the rest of the day is ingested, and the resumed window must
+// checkpoint byte-identically to an uninterrupted run over the same log.
+func demonstrateRestart(records []*fleet.SessionRecord) {
+	ckpt := filepath.Join(os.TempDir(), "ispmonitor-rollup.ckpt")
+	defer os.Remove(ckpt)
+
+	newRollup := func() *gamelens.Rollup {
+		return gamelens.NewRollup(gamelens.RollupConfig{Window: 24 * time.Hour, Buckets: 24})
+	}
+	uninterrupted := newRollup()
+	wholeDay := fleet.RollupSink(uninterrupted, dayStart, stagger, subscribers)
+	for _, r := range records {
+		wholeDay(r)
+	}
+
+	half := newRollup()
+	firstHalf := fleet.RollupSink(half, dayStart, stagger, subscribers)
+	mid := len(records) / 2
+	for _, r := range records[:mid] {
+		firstHalf(r)
+	}
+	if err := half.SaveFile(ckpt); err != nil {
+		log.Fatalf("checkpoint: %v", err)
+	}
+	fmt.Printf("\nmonitor restart at session %d/%d: checkpointed %s, restoring...\n",
+		mid, len(records), ckpt)
+
+	resumed, err := gamelens.LoadRollup(ckpt)
+	if err != nil {
+		log.Fatalf("restore: %v", err)
+	}
+	secondHalf := fleet.RollupSink(resumed, dayStart, stagger, subscribers)
+	for _, r := range records[mid:] {
+		secondHalf(r)
+	}
+
+	var a, b bytes.Buffer
+	if err := uninterrupted.Snapshot(&a); err != nil {
+		log.Fatal(err)
+	}
+	if err := resumed.Snapshot(&b); err != nil {
+		log.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		fmt.Printf("restart-resume verified: resumed window byte-identical to the uninterrupted run (%d checkpoint bytes)\n", b.Len())
+	} else {
+		log.Fatal("restart-resume DIVERGED: resumed window differs from the uninterrupted run")
+	}
 }

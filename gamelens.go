@@ -20,6 +20,9 @@
 //     substrates standing in for the paper's datasets
 //   - internal/core: the online Fig 6 pipeline
 //   - internal/engine: the sharded multi-core front-end over the pipeline
+//   - internal/rollup, internal/persist: per-subscriber sliding-window
+//     dashboard aggregates over the report stream, with crash-safe JSON
+//     checkpoint/restore
 //
 // # Concurrency model
 //
@@ -56,9 +59,35 @@
 // streamed output is identical to the Finish-only result. Live residency
 // vs cumulative volume is split in EngineStats: ActiveFlows/ShardFlows
 // count resident sessions, Flows()/EvictedFlows the total ever seen. One
-// caveat at engine scale: a shard's eviction clock advances only with its
-// own traffic, so a monitor calls Engine.ExpireIdle at quiet points to
-// sweep shards whose flows have all gone silent.
+// residual caveat at engine scale: a shard's own eviction clock advances
+// only with its own traffic, but the engine ticks every shard from the
+// newest capture timestamp seen engine-wide (EngineConfig.TickInterval, on
+// by default with a FlowTTL), so any traffic at the tap evicts quiet
+// shards' flows; Engine.ExpireIdle remains for monitors whose whole feed
+// goes silent.
+//
+// # Per-subscriber rollups
+//
+// Rollup is the operator-dashboard subsystem over the report stream (§5):
+// it keys every SessionReport by the subscriber (client) address and
+// maintains sliding-window aggregates — session counts, per-title and
+// per-pattern share, per-stage minutes, the objective-vs-effective QoE mix
+// — in a ring of fixed-width packet-time buckets per subscriber, so memory
+// is O(subscribers × buckets) no matter how many reports the window has
+// absorbed. Chain it into any sink with Rollup.Sink. The whole window
+// round-trips through a canonical JSON checkpoint (Snapshot/Restore, or
+// SaveFile/LoadFile for atomic write-temp-rename persistence): a restarted
+// monitor resumes the day's aggregations exactly — the restart-resume
+// equivalence is pinned by internal/rollup's tests.
+//
+//	ru := gamelens.NewRollup(gamelens.RollupConfig{Window: time.Hour})
+//	eng := gamelens.NewEngine(gamelens.EngineConfig{
+//	    Sink:       ru.Sink(),
+//	    StreamOnly: true,
+//	    Pipeline:   gamelens.PipelineConfig{FlowTTL: 2 * time.Minute},
+//	}, models)
+//	// ... periodically: ru.SaveFile("rollup.ckpt")
+//	// after a restart: ru, err := gamelens.LoadRollup("rollup.ckpt")
 //
 // Quickstart:
 //
@@ -99,6 +128,7 @@ import (
 	"gamelens/internal/engine"
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
+	"gamelens/internal/rollup"
 	"gamelens/internal/stageclass"
 	"gamelens/internal/titleclass"
 )
@@ -121,6 +151,19 @@ type (
 	// ReportSink receives session reports incrementally as flows are
 	// evicted (PipelineConfig.FlowTTL) or finalized at Finish.
 	ReportSink = core.ReportSink
+	// Rollup maintains per-subscriber sliding-window aggregates over the
+	// report stream, with JSON checkpoint/restore.
+	Rollup = rollup.Rollup
+	// RollupConfig sizes the rollup window (span and bucket count).
+	RollupConfig = rollup.Config
+	// RollupEntry is one finished session attributed to a subscriber.
+	RollupEntry = rollup.Entry
+	// RollupCounts is one additive window aggregate.
+	RollupCounts = rollup.Counts
+	// SubscriberAggregate is one subscriber's whole-window summary.
+	SubscriberAggregate = rollup.Aggregate
+	// RollupStats are the rollup's observability counters.
+	RollupStats = rollup.Stats
 	// TitleClassifier is the §4.2 game-title classifier.
 	TitleClassifier = titleclass.Classifier
 	// StageClassifier is the §4.3 stage + pattern classifier.
@@ -206,6 +249,25 @@ func NewPipeline(cfg PipelineConfig, m *Models) *Pipeline {
 // The zero EngineConfig shards across all available cores.
 func NewEngine(cfg EngineConfig, m *Models) *Engine {
 	return engine.New(cfg, m.Title, m.Stage)
+}
+
+// NewRollup builds an empty per-subscriber rollup window. The zero
+// RollupConfig keeps a one-hour window in twelve buckets.
+func NewRollup(cfg RollupConfig) *Rollup {
+	return rollup.New(cfg)
+}
+
+// RestoreRollup rebuilds a rollup from a checkpoint written by
+// Rollup.Snapshot.
+func RestoreRollup(r io.Reader) (*Rollup, error) {
+	return rollup.Restore(r)
+}
+
+// LoadRollup restores a rollup from a checkpoint file written by
+// Rollup.SaveFile. A missing file surfaces the os.Open error unchanged so
+// monitors can treat it as a cold start.
+func LoadRollup(path string) (*Rollup, error) {
+	return rollup.LoadFile(path)
 }
 
 // SaveTitleModel writes the title classifier's forest as JSON. The

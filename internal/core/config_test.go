@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigQoSLagSentinel pins the sentinel split from the config audit:
+// zero still means "use the healthy default", but a deployment measuring a
+// genuinely zero lag can now express it with a negative value instead of
+// being silently bumped to 8ms.
+func TestConfigQoSLagSentinel(t *testing.T) {
+	if got := (Config{}).withDefaults().QoSLag; got != 8*time.Millisecond {
+		t.Errorf("zero QoSLag = %v, want 8ms default", got)
+	}
+	if got := (Config{QoSLag: -1}).withDefaults().QoSLag; got != 0 {
+		t.Errorf("negative QoSLag = %v, want explicit 0", got)
+	}
+	if got := (Config{QoSLag: 3 * time.Millisecond}).withDefaults().QoSLag; got != 3*time.Millisecond {
+		t.Errorf("explicit QoSLag = %v, want 3ms preserved", got)
+	}
+}
+
+// TestDefaultSweepInterval pins the exported cadence rule the engine's
+// automatic tick derives from.
+func TestDefaultSweepInterval(t *testing.T) {
+	if got := DefaultSweepInterval(time.Minute); got != 15*time.Second {
+		t.Errorf("DefaultSweepInterval(1m) = %v, want 15s", got)
+	}
+	if got := DefaultSweepInterval(100 * time.Millisecond); got != 100*time.Millisecond {
+		t.Errorf("DefaultSweepInterval(100ms) = %v, want the native slot floor", got)
+	}
+}

@@ -145,9 +145,11 @@ func (p *Pipeline) EvictedFlows() int64 { return p.lc.evicted }
 // (evictions plus Finish finalizations).
 func (p *Pipeline) EmittedReports() int64 { return p.lc.emitted }
 
-// defaultSweepInterval amortizes sweeps to a quarter TTL, but never finer
-// than the native slot so sweep cost stays negligible next to slot work.
-func defaultSweepInterval(ttl time.Duration) time.Duration {
+// DefaultSweepInterval is the sweep cadence a zero Config.SweepInterval
+// resolves to: a quarter TTL, but never finer than the native slot so sweep
+// cost stays negligible next to slot work. Exported so the sharded engine
+// can derive its automatic tick cadence from the same rule.
+func DefaultSweepInterval(ttl time.Duration) time.Duration {
 	every := ttl / 4
 	if every < trace.SlotDuration {
 		every = trace.SlotDuration

@@ -30,7 +30,10 @@ type Config struct {
 	LaunchWindow time.Duration
 	// QoSLag is the measured game-streaming lag (input-to-display, ~RTT
 	// plus queueing) attached to QoE slots when the deployment has an
-	// external latency feed; 0 uses a healthy default.
+	// external latency feed; 0 uses a healthy default, and a negative
+	// value means a measured lag of zero (the engine.Config.FlushLatency
+	// idiom — zero-means-default fields take negative for an explicit
+	// zero, so no real measurement is unexpressible).
 	QoSLag time.Duration
 	// QoSLoss is the measured path loss rate for QoE grading.
 	QoSLoss float64
@@ -55,11 +58,13 @@ func (c Config) withDefaults() Config {
 	if c.LaunchWindow <= 0 {
 		c.LaunchWindow = 50 * time.Second
 	}
-	if c.QoSLag <= 0 {
+	if c.QoSLag == 0 {
 		c.QoSLag = 8 * time.Millisecond
+	} else if c.QoSLag < 0 {
+		c.QoSLag = 0
 	}
 	if c.FlowTTL > 0 && c.SweepInterval <= 0 {
-		c.SweepInterval = defaultSweepInterval(c.FlowTTL)
+		c.SweepInterval = DefaultSweepInterval(c.FlowTTL)
 	}
 	return c
 }

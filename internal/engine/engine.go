@@ -18,9 +18,12 @@
 // (Config.Pipeline.FlowTTL), evicted and finished session reports stream
 // through a merged, concurrency-safe engine-level sink (Config.Sink), and
 // Stats separates live residency (ActiveFlows, ShardFlows) from cumulative
-// volume (Flows, EvictedFlows). A shard's eviction clock only advances
-// with its own traffic, so monitors call ExpireIdle at quiet points to
-// sweep shards whose flows have all gone silent.
+// volume (Flows, EvictedFlows). A shard's own eviction clock only advances
+// with its own traffic, but the engine also ticks every shard from the
+// newest capture timestamp seen engine-wide (Config.TickInterval), so a
+// shard whose flows have all gone silent still evicts on schedule as long
+// as any traffic reaches the tap; manual ExpireIdle remains for monitors
+// whose whole feed goes quiet.
 package engine
 
 import (
@@ -68,6 +71,17 @@ type Config struct {
 	// engine installs its own merged sink into each shard pipeline, so
 	// Pipeline.Sink is ignored; set stream behavior here.
 	Sink core.ReportSink
+	// TickInterval is the automatic shard-clock tick cadence, in packet
+	// time: whenever the newest capture timestamp observed engine-wide has
+	// advanced TickInterval past the previous tick, the engine runs an
+	// ExpireIdle sweep of every shard at that instant itself. A shard's
+	// own lifecycle clock advances only with its own traffic — exactly the
+	// clock that freezes when its flows go idle — so the engine-wide clock
+	// is what bounds the idle-shard tail without operator code. Zero takes
+	// the pipeline's sweep cadence (Pipeline.SweepInterval, default
+	// FlowTTL/4); negative disables automatic ticks (per-shard sweeps and
+	// manual ExpireIdle only). Ignored unless Pipeline.FlowTTL is set.
+	TickInterval time.Duration
 	// StreamOnly makes Sink the sole delivery path: reports are not
 	// retained for Finish, which still finalizes the remaining sessions
 	// (delivering them through Sink) but returns nil. Without it the
@@ -122,6 +136,15 @@ type Stats struct {
 	// chart ShardFlows see residency, not volume). Values are exact after
 	// Finish; live reads trail by whatever is still queued — up to
 	// QueueDepth batches plus the pending partial one.
+	//
+	// Coherence invariant: each shard's ShardFlows entry and its share of
+	// EvictedFlows are sampled in one atomic read, published together by
+	// the shard worker after every batch. A live read can therefore trail
+	// the queue, but it can never catch a flow mid-eviction: per shard,
+	// live + evicted always equals the number of flows the shard had
+	// created at a single sampling instant, which is what keeps Flows()
+	// free of double counting (and monotonic) while evictions race the
+	// read.
 	ShardFlows []int
 	// ShardBatch is each shard's current adaptive batch threshold, in
 	// packets (== BatchSize when adaptation is disabled or the link runs
@@ -130,7 +153,11 @@ type Stats struct {
 }
 
 // Flows returns the cumulative gaming-flow count: every flow ever tracked,
-// live or evicted. ActiveFlows is the live subset.
+// live or evicted. ActiveFlows is the live subset. Because each shard's
+// live/evicted pair is sampled coherently (see ShardFlows), a flow moving
+// from live to evicted between a Stats call's reads is counted exactly
+// once — pre-fix, sampling the two columns at different instants could
+// double-report such a flow.
 func (s Stats) Flows() int {
 	total := 0
 	for _, n := range s.ShardFlows {
@@ -164,20 +191,50 @@ type batch struct {
 	expire time.Time
 }
 
+// shardCounts is one shard's flow accounting, published as a unit: live and
+// evicted are sampled from the shard pipeline at the same instant, so a
+// reader summing them sees every flow the shard has ever created exactly
+// once even while an eviction is moving flows from one column to the other.
+type shardCounts struct {
+	live    int64 // post-eviction resident sessions
+	evicted int64 // sessions finalized by TTL eviction
+}
+
 type shard struct {
 	mu      sync.Mutex // serializes producers; held across the send to keep batches FIFO
 	pending batch
 	ch      chan batch
 	free    chan batch // recycled batches, so steady state allocates nothing
 	pipe    *core.Pipeline
-	flows   atomic.Int64 // live (post-eviction) sessions
-	evicted atomic.Int64
+	// counts is the worker's atomically published {live, evicted} pair
+	// (nil until the first batch drains). Publishing both in one store is
+	// what keeps Stats.Flows() coherent: sampling them separately would
+	// let a live read race an eviction and count the moving flow twice (or
+	// drop it), depending on which column was read first.
+	counts atomic.Pointer[shardCounts]
 
 	// Adaptive batching state (mu-guarded writers; effBatch is atomic so
 	// Stats can read it without the producer lock).
 	lastTS   time.Time
 	ewmaGap  float64 // seconds between packets, exponentially smoothed
 	effBatch atomic.Int64
+}
+
+// publish snapshots the pipeline's flow accounting into the atomic pair.
+// Called only from the shard's worker goroutine (the pipeline's owner).
+func (s *shard) publish() {
+	s.counts.Store(&shardCounts{
+		live:    int64(s.pipe.NumFlows()),
+		evicted: s.pipe.EvictedFlows(),
+	})
+}
+
+// load returns the last published pair (zero before any batch).
+func (s *shard) load() shardCounts {
+	if c := s.counts.Load(); c != nil {
+		return *c
+	}
+	return shardCounts{}
 }
 
 // Engine fans decoded frames out to sharded pipelines and merges their
@@ -189,6 +246,14 @@ type Engine struct {
 	packetsIn atomic.Int64
 	processed atomic.Int64
 	dropped   atomic.Int64
+
+	// Automatic shard-clock ticks (see Config.TickInterval): clockNs is
+	// the newest capture timestamp observed engine-wide, nextTickNs the
+	// packet-time instant the next ExpireIdle sweep is due. tickEvery is 0
+	// when ticks are disabled.
+	tickEvery  int64 // nanos
+	clockNs    atomic.Int64
+	nextTickNs atomic.Int64
 
 	// The merged report stream: shard pipelines emit into here (evictions
 	// mid-run, the rest during Finish), serialized by sinkMu; the user
@@ -207,6 +272,15 @@ type Engine struct {
 func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if cfg.Pipeline.FlowTTL > 0 && cfg.TickInterval >= 0 {
+		every := cfg.TickInterval
+		if every == 0 {
+			if every = cfg.Pipeline.SweepInterval; every <= 0 {
+				every = core.DefaultSweepInterval(cfg.Pipeline.FlowTTL)
+			}
+		}
+		e.tickEvery = int64(every)
+	}
 	pipeCfg := cfg.Pipeline
 	pipeCfg.Sink = e.emit // merged engine-level sink; see Config.Sink
 	for i := range e.shards {
@@ -246,8 +320,7 @@ func (e *Engine) run(s *shard) {
 	for b := range s.ch {
 		if !b.expire.IsZero() {
 			s.pipe.ExpireIdle(b.expire)
-			s.flows.Store(int64(s.pipe.NumFlows()))
-			s.evicted.Store(s.pipe.EvictedFlows())
+			s.publish()
 			continue
 		}
 		for i := range b.pkts {
@@ -267,8 +340,7 @@ func (e *Engine) run(s *shard) {
 			}
 			s.pipe.HandlePacket(p.ts, &p.dec, payload)
 		}
-		s.flows.Store(int64(s.pipe.NumFlows()))
-		s.evicted.Store(s.pipe.EvictedFlows())
+		s.publish()
 		e.processed.Add(int64(len(b.pkts)))
 		b.pkts = b.pkts[:0]
 		b.buf = b.buf[:0]
@@ -277,8 +349,7 @@ func (e *Engine) run(s *shard) {
 		default:
 		}
 	}
-	s.flows.Store(int64(s.pipe.NumFlows()))
-	s.evicted.Store(s.pipe.EvictedFlows())
+	s.publish()
 }
 
 // ShardIndex returns the shard a flow key routes to. The hash (FNV-1a over
@@ -352,6 +423,42 @@ func (e *Engine) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte)
 		e.flushLocked(s)
 	}
 	s.mu.Unlock()
+	if e.tickEvery > 0 {
+		e.tick(ts)
+	}
+}
+
+// tick advances the engine-wide packet clock to ts and, when a whole
+// TickInterval has elapsed since the last sweep, runs ExpireIdle at the
+// clock instant. The CAS on nextTickNs elects exactly one producer per
+// interval to perform the sweep; the losers return immediately, so the
+// per-packet cost is two atomic loads. Called after the shard lock is
+// released — ExpireIdle takes every shard's lock in turn.
+func (e *Engine) tick(ts time.Time) {
+	now := ts.UnixNano()
+	for {
+		cur := e.clockNs.Load()
+		if cur >= now {
+			now = cur
+			break
+		}
+		if e.clockNs.CompareAndSwap(cur, now) {
+			break
+		}
+	}
+	next := e.nextTickNs.Load()
+	if next == 0 {
+		// First packet: schedule the first sweep one interval out.
+		e.nextTickNs.CompareAndSwap(0, now+e.tickEvery)
+		return
+	}
+	if now < next {
+		return
+	}
+	if !e.nextTickNs.CompareAndSwap(next, now+e.tickEvery) {
+		return // another producer owns this tick
+	}
+	e.ExpireIdle(time.Unix(0, now))
 }
 
 // adaptBatch updates the shard's inter-arrival estimate from one packet
@@ -444,12 +551,15 @@ func (e *Engine) Flush() {
 // instant, not wall time) and sweeps flows idle past Pipeline.FlowTTL,
 // emitting their reports through the merged sink. Each shard normally
 // evicts on its own packet clock, which never advances while the shard's
-// traffic is quiet — exactly when its flows should be expiring — so
-// long-running monitors call this at quiet points (alongside Flush, with
-// now = the newest capture timestamp seen). Pending batches are flushed
-// first, keeping eviction ordered after every packet already handed in.
-// The sweep runs asynchronously on the shard workers; it is a no-op
-// without a FlowTTL, and must not be called after Finish.
+// traffic is quiet — exactly when its flows should be expiring. With
+// automatic ticks enabled (Config.TickInterval) the engine calls this
+// itself from the newest engine-wide capture timestamp, so any traffic at
+// the tap sweeps every shard; manual calls remain for monitors whose whole
+// feed goes quiet (no packets anywhere to advance the engine clock).
+// Pending batches are flushed first, keeping eviction ordered after every
+// packet already handed in. The sweep runs asynchronously on the shard
+// workers; it is a no-op without a FlowTTL, and must not be called after
+// Finish.
 func (e *Engine) ExpireIdle(now time.Time) {
 	if e.cfg.Pipeline.FlowTTL <= 0 {
 		return
@@ -488,11 +598,11 @@ func (e *Engine) Stats() Stats {
 		ShardBatch:     make([]int, len(e.shards)),
 	}
 	for i, s := range e.shards {
-		live := int(s.flows.Load())
-		st.ShardFlows[i] = live
-		st.ActiveFlows += live
+		c := s.load() // one atomic read: live and evicted from the same instant
+		st.ShardFlows[i] = int(c.live)
+		st.ActiveFlows += int(c.live)
 		st.ShardBatch[i] = int(s.effBatch.Load())
-		st.EvictedFlows += s.evicted.Load()
+		st.EvictedFlows += c.evicted
 	}
 	return st
 }

@@ -47,6 +47,8 @@ func NewFieldRun(c *Corpus) (*FieldRun, error) {
 	}
 	d := fleet.New(fleet.Config{
 		Sessions:      opts.FleetSessions,
+		LongTailFrac:  -1, // the Table 1 population mix (DefaultLongTailFrac)
+		ImpairedFrac:  -1, // DefaultImpairedFrac
 		SessionLength: sessionLen,
 		Seed:          opts.Seed + 35,
 	}, titles, stages)

@@ -20,15 +20,28 @@ import (
 	"gamelens/internal/trace"
 )
 
+// DefaultLongTailFrac and DefaultImpairedFrac are the paper's §5
+// population mix: Table 1's catalog covers ~69% of playtime (so 31% is
+// long-tail), and ~12% of sessions ride degraded access paths. A negative
+// Config fraction selects these defaults.
+const (
+	DefaultLongTailFrac = 0.31
+	DefaultImpairedFrac = 0.12
+)
+
 // Config sizes and seeds a deployment run.
 type Config struct {
 	// Sessions is the number of streaming sessions to simulate.
 	Sessions int
 	// LongTailFrac is the fraction of sessions playing titles outside the
-	// top-13 catalog (Table 1: the catalog covers ~69% of playtime).
+	// top-13 catalog. Zero means a pure-catalog population; negative
+	// selects DefaultLongTailFrac, the Table 1 mix. (Zero used to be the
+	// default sentinel, which made a 0% long-tail population
+	// unexpressible — the negative-means-default split fixes that.)
 	LongTailFrac float64
 	// ImpairedFrac is the fraction of sessions on degraded access paths
-	// (high RTT, loss, or bandwidth caps).
+	// (high RTT, loss, or bandwidth caps). Zero means every path is
+	// healthy; negative selects DefaultImpairedFrac.
 	ImpairedFrac float64
 	// SessionLength fixes session lengths for speed; 0 draws per-title
 	// realistic lengths (Fig 11 durations).
@@ -41,13 +54,15 @@ func (c Config) withDefaults() Config {
 	if c.Sessions <= 0 {
 		c.Sessions = 500
 	}
-	if c.LongTailFrac < 0 || c.LongTailFrac >= 1 {
-		c.LongTailFrac = 0
-	} else if c.LongTailFrac == 0 {
-		c.LongTailFrac = 0.31
+	if c.LongTailFrac < 0 {
+		c.LongTailFrac = DefaultLongTailFrac
+	} else if c.LongTailFrac > 1 {
+		c.LongTailFrac = 1
 	}
-	if c.ImpairedFrac <= 0 {
-		c.ImpairedFrac = 0.12
+	if c.ImpairedFrac < 0 {
+		c.ImpairedFrac = DefaultImpairedFrac
+	} else if c.ImpairedFrac > 1 {
+		c.ImpairedFrac = 1
 	}
 	return c
 }
@@ -56,6 +71,12 @@ func (c Config) withDefaults() Config {
 // pipeline measured online, and the offline ground truth used for
 // validation and aggregation.
 type SessionRecord struct {
+	// Index is the session's position in the sampled population, stable
+	// across Run/RunConcurrent/RunStream — the deterministic identity the
+	// rollup bridge derives subscriber addresses and packet-time stamps
+	// from.
+	Index int
+
 	// Ground truth ("server log", available only offline in the paper).
 	Title     gamesim.Title
 	InCatalog bool
@@ -163,7 +184,9 @@ func (d *Deployment) runOne(dr sessionDraw) *SessionRecord {
 	s := gamesim.GenerateTitle(dr.title, dr.cfg, dr.net, d.cfg.Seed+int64(dr.i)*6007+11, gamesim.Options{
 		SessionLength: d.cfg.SessionLength,
 	})
-	return d.measure(s)
+	rec := d.measure(s)
+	rec.Index = dr.i
+	return rec
 }
 
 // Run simulates the deployment and returns one record per session.

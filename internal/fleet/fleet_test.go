@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"bytes"
 	"math/rand"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
 	"gamelens/internal/qoe"
+	"gamelens/internal/rollup"
 	"gamelens/internal/stageclass"
 	"gamelens/internal/titleclass"
 	"gamelens/internal/trace"
@@ -57,6 +59,8 @@ func runSmallFleet(t testing.TB, sessions int, seed int64) []*SessionRecord {
 	tm, sm := models(t)
 	d := New(Config{
 		Sessions:      sessions,
+		LongTailFrac:  -1, // paper mix; zero now means a pure-catalog population
+		ImpairedFrac:  -1,
 		SessionLength: 12 * time.Minute,
 		Seed:          seed,
 	}, tm, sm)
@@ -104,6 +108,8 @@ func TestRunConcurrentMatchesRun(t *testing.T) {
 	tm, sm := models(t)
 	d := New(Config{
 		Sessions:      40,
+		LongTailFrac:  -1,
+		ImpairedFrac:  -1,
 		SessionLength: 10 * time.Minute,
 		Seed:          5,
 	}, tm, sm)
@@ -129,6 +135,8 @@ func TestRunStreamEmitsEveryRecord(t *testing.T) {
 	tm, sm := models(t)
 	d := New(Config{
 		Sessions:      30,
+		LongTailFrac:  -1,
+		ImpairedFrac:  -1,
 		SessionLength: 10 * time.Minute,
 		Seed:          7,
 	}, tm, sm)
@@ -251,6 +259,135 @@ func TestEffectiveQoEImprovesOnObjective(t *testing.T) {
 	}
 	if effGood <= objGood {
 		t.Errorf("effective good %d <= objective good %d; calibration had no effect", effGood, objGood)
+	}
+}
+
+// TestConfigFractionSentinels is the regression for the sentinel-overload
+// bug: an explicit zero fraction used to be silently replaced by the paper
+// defaults, making a pure-catalog or unimpaired population unexpressible.
+// Zero now means zero; negative selects the default.
+func TestConfigFractionSentinels(t *testing.T) {
+	zero := Config{Sessions: 300, LongTailFrac: 0, ImpairedFrac: 0, Seed: 2}.withDefaults()
+	if zero.LongTailFrac != 0 || zero.ImpairedFrac != 0 {
+		t.Fatalf("explicit zero fractions clobbered: long-tail %v, impaired %v",
+			zero.LongTailFrac, zero.ImpairedFrac)
+	}
+	def := Config{Sessions: 300, LongTailFrac: -1, ImpairedFrac: -1}.withDefaults()
+	if def.LongTailFrac != DefaultLongTailFrac || def.ImpairedFrac != DefaultImpairedFrac {
+		t.Fatalf("negative fractions did not select defaults: %v, %v",
+			def.LongTailFrac, def.ImpairedFrac)
+	}
+	over := Config{LongTailFrac: 1.5, ImpairedFrac: 2}.withDefaults()
+	if over.LongTailFrac != 1 || over.ImpairedFrac != 1 {
+		t.Fatalf("fractions not clamped to 1: %v, %v", over.LongTailFrac, over.ImpairedFrac)
+	}
+
+	// A 0% long-tail population draws only catalog titles, and a 0%
+	// impaired population only healthy paths. Sampling does not need
+	// trained models, so this runs at full population size.
+	d := New(Config{Sessions: 300, LongTailFrac: 0, ImpairedFrac: 0, Seed: 2}, nil, nil)
+	for i, dr := range d.samplePopulation() {
+		if !dr.title.IsCatalog() {
+			t.Fatalf("draw %d: long-tail title %q in a 0%% long-tail population", i, dr.title.Name)
+		}
+		if dr.net.Impaired(10) {
+			t.Fatalf("draw %d: impaired path %+v in a 0%% impaired population", i, dr.net)
+		}
+	}
+
+	// And the default mix still produces both.
+	d = New(Config{Sessions: 300, LongTailFrac: -1, ImpairedFrac: -1, Seed: 2}, nil, nil)
+	longTail, impaired := 0, 0
+	for _, dr := range d.samplePopulation() {
+		if !dr.title.IsCatalog() {
+			longTail++
+		}
+		if dr.net.Impaired(10) {
+			impaired++
+		}
+	}
+	if longTail == 0 || impaired == 0 {
+		t.Errorf("default mix degenerate: %d long-tail, %d impaired of 300", longTail, impaired)
+	}
+}
+
+// TestRollupMatchesAggregates validates the fleet→rollup bridge: a
+// day-spanning window built from RunStream records must agree with the
+// direct whole-run aggregations (Fig 11–13's inputs), and be independent
+// of emission order.
+func TestRollupMatchesAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models and simulates a fleet")
+	}
+	records := runSmallFleet(t, 60, 13)
+	base := time.Date(2026, 7, 10, 6, 0, 0, 0, time.UTC)
+	const stagger, subscribers = 7 * time.Minute, 10
+
+	ru := rollup.New(rollup.Config{Window: 24 * time.Hour, Buckets: 24})
+	sink := RollupSink(ru, base, stagger, subscribers)
+	for _, r := range records {
+		sink(r)
+	}
+
+	total := ru.Total()
+	if total.Sessions != int64(len(records)) {
+		t.Fatalf("window sessions = %d, want %d", total.Sessions, len(records))
+	}
+	if got := len(ru.Subscribers()); got != subscribers {
+		t.Errorf("%d subscribers, want %d", got, subscribers)
+	}
+	known := 0
+	var stageMins [trace.NumStages]float64
+	for _, r := range records {
+		if r.TitleResult.Known {
+			known++
+		}
+		for st, m := range r.StageMinutes {
+			stageMins[st] += m
+		}
+	}
+	var titleSessions int64
+	for _, n := range total.Titles {
+		titleSessions += n
+	}
+	if titleSessions != int64(known) {
+		t.Errorf("window title sessions = %d, want %d confidently-labeled records", titleSessions, known)
+	}
+	var patternSessions int64
+	for _, n := range total.Patterns {
+		patternSessions += n
+	}
+	if patternSessions != int64(len(records)-known) {
+		t.Errorf("window pattern sessions = %d, want %d long-tail records",
+			patternSessions, len(records)-known)
+	}
+	for _, agg := range AggregateByTitle(records) {
+		if got := total.Titles[agg.Title.String()]; got != int64(agg.Sessions) {
+			t.Errorf("title %v: window counts %d sessions, aggregate %d", agg.Title, got, agg.Sessions)
+		}
+	}
+	for st := range stageMins {
+		if diff := total.StageMinutes[st] - stageMins[st]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("stage %d minutes: window %v, records %v", st, total.StageMinutes[st], stageMins[st])
+		}
+	}
+
+	// Emission order must not matter on a day-spanning window: reverse
+	// feeding yields a byte-identical checkpoint.
+	rev := rollup.New(rollup.Config{Window: 24 * time.Hour, Buckets: 24})
+	revSink := RollupSink(rev, base, stagger, subscribers)
+	for i := len(records) - 1; i >= 0; i-- {
+		revSink(records[i])
+	}
+	var a, b bytes.Buffer
+	if err := ru.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("rollup window depends on record emission order")
 	}
 }
 

@@ -1,0 +1,66 @@
+// The rollup bridge: deployment records feed the same per-subscriber
+// sliding-window aggregates the packet engine's report stream does, so the
+// Fig 11–13-style views an operator watches can be validated against the
+// fleet's ground truth at simulation scale. Sessions are laid out on a
+// deterministic packet-time day — session i starts at base + i*stagger and
+// ends a session length later — and attributed to synthetic subscribers
+// spread across the 10.64.0.0/10 access network, several sessions per
+// subscriber, mirroring how gamesim.FlowEndpoints spreads client homes.
+
+package fleet
+
+import (
+	"net/netip"
+	"time"
+
+	"gamelens/internal/rollup"
+)
+
+// SubscriberAddr maps a population index to its synthetic subscriber
+// address. With subscribers < Sessions, several sessions share an address
+// (index mod subscribers), which is exactly what per-subscriber rollups
+// need to prove aggregation; subscribers <= 0 gives every session its own
+// address.
+func SubscriberAddr(index, subscribers int) netip.Addr {
+	i := index
+	if subscribers > 0 {
+		i = index % subscribers
+	}
+	return netip.AddrFrom4([4]byte{10, byte(64 + i>>16&0x3f), byte(i >> 8), byte(i)})
+}
+
+// RecordEntry converts one deployment record into a rollup entry on the
+// deterministic day clock: the session starts at base + Index*stagger and
+// ends DurationMinutes later. The mapping is pure — identical records yield
+// identical entries — so rollups built from any RunStream emission order
+// (or from a checkpoint-restored window) agree exactly.
+func RecordEntry(r *SessionRecord, base time.Time, stagger time.Duration, subscribers int) rollup.Entry {
+	e := rollup.Entry{
+		Subscriber:   SubscriberAddr(r.Index, subscribers),
+		End:          base.Add(time.Duration(r.Index)*stagger + time.Duration(r.DurationMinutes*float64(time.Minute))),
+		StageMinutes: r.StageMinutes,
+		MeanDownMbps: r.MeanDownMbps,
+		Objective:    r.Objective,
+		Effective:    r.Effective,
+	}
+	if r.TitleResult.Known {
+		e.Title = r.TitleResult.Title.String()
+	} else {
+		e.Pattern = r.PatternResult.Pattern.String()
+	}
+	return e
+}
+
+// RollupSink adapts a rollup to RunStream's emit callback: each record is
+// folded into ru the moment its session is measured. RunStream serializes
+// emission and the rollup locks internally, so the sink needs no further
+// synchronization. RecordEntry is deterministic in the record, so as long
+// as ru's window spans the simulated day the resulting aggregates are
+// identical regardless of completion order; with a window shorter than the
+// day, late-dropping depends on arrival order — feed the returned
+// population-ordered slice instead when exactness matters.
+func RollupSink(ru *rollup.Rollup, base time.Time, stagger time.Duration, subscribers int) func(*SessionRecord) {
+	return func(r *SessionRecord) {
+		ru.Observe(RecordEntry(r, base, stagger, subscribers))
+	}
+}

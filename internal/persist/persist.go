@@ -1,0 +1,62 @@
+// Package persist provides crash-safe file persistence for checkpoint-style
+// state (the rollup subsystem's Snapshot/Restore, exported models, any
+// versioned JSON document in the mlkit/persist.go mold): the document is
+// written to a temporary file in the destination directory, synced, and
+// renamed over the target only on success, so a restarted monitor never
+// reads a torn or half-written checkpoint.
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Atomic writes the document produced by write to path via a
+// write-temp-then-rename: the temporary file lives in path's directory (a
+// rename across filesystems is not atomic), is fsynced before the rename,
+// and is removed on any failure. On success the previous file at path, if
+// any, is replaced in one step.
+func Atomic(path string, write func(io.Writer) error) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load opens path and hands the reader to read, closing the file afterwards.
+// It is the read-side counterpart of Atomic; a missing file surfaces as an
+// error matching os.IsNotExist / errors.Is(err, fs.ErrNotExist) so callers
+// can treat "no checkpoint yet" as a cold start.
+func Load(path string, read func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := read(f); err != nil {
+		return fmt.Errorf("persist: reading %s: %w", path, err)
+	}
+	return nil
+}

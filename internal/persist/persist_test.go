@@ -1,0 +1,91 @@
+package persist
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAtomicWritesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	write := func(doc string) error {
+		return Atomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, doc)
+			return err
+		})
+	}
+	if err := write("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := write("v2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Errorf("content = %q, want v2", got)
+	}
+}
+
+// TestAtomicFailureLeavesTargetIntact pins the crash-safety contract: a
+// failing write must leave the previous file untouched and no temp files
+// behind.
+func TestAtomicFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := os.WriteFile(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Atomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Errorf("target clobbered by failed write: %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	err := Load(path, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = string(b)
+		return err
+	})
+	if err != nil || got != "payload" {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+	if err := Load(filepath.Join(t.TempDir(), "missing"), func(io.Reader) error { return nil }); !os.IsNotExist(err) {
+		t.Errorf("missing file error = %v, want IsNotExist", err)
+	}
+	boom := errors.New("boom")
+	if err := Load(path, func(io.Reader) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("reader error not wrapped: %v", err)
+	}
+}

@@ -1,0 +1,165 @@
+// Checkpoint/restore: the whole window state round-trips through one
+// canonical, versioned JSON document (the mlkit/persist.go idiom), so a
+// restarted monitor resumes its per-subscriber aggregations exactly where
+// the last checkpoint left them.
+//
+// The encoding is deterministic — subscribers sorted by address, buckets
+// sorted by absolute index, map keys sorted by encoding/json, float64s in
+// Go's shortest round-trip form — so two rollups holding the same window
+// state produce byte-identical checkpoints, and a snapshot-restore-snapshot
+// cycle is the identity. Two rollups fed the same entries reach the same
+// state whenever no entry was late-dropped (see the package comment's
+// ingest-order caveat): in particular, the engine's order-normalized
+// Finish output yields byte-identical checkpoints at every shard count. Stale buckets and fully aged-out subscribers are pruned at
+// snapshot time (they can never re-enter the window: the clock is
+// monotonic), which keeps the document canonical and its size bounded by
+// the live window.
+
+package rollup
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"gamelens/internal/persist"
+)
+
+const checkpointFormat = "gamelens-rollup-v1"
+
+// checkpointJSON is the stable on-disk representation of a Rollup.
+type checkpointJSON struct {
+	Format   string           `json:"format"`
+	WindowNs int64            `json:"window_ns"`
+	Buckets  int              `json:"buckets"`
+	Clock    string           `json:"clock,omitempty"` // RFC3339Nano, "" before any entry
+	Ingested int64            `json:"ingested"`
+	Late     int64            `json:"late,omitempty"`
+	Subs     []subscriberJSON `json:"subscribers"`
+}
+
+type subscriberJSON struct {
+	Addr    string       `json:"addr"`
+	Buckets []bucketJSON `json:"buckets"`
+}
+
+type bucketJSON struct {
+	// Idx is the absolute bucket number; the bucket spans packet time
+	// [Idx*width, (Idx+1)*width).
+	Idx    int64  `json:"idx"`
+	Counts Counts `json:"counts"`
+}
+
+// Snapshot writes the canonical checkpoint document to w.
+func (r *Rollup) Snapshot(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	doc := checkpointJSON{
+		Format:   checkpointFormat,
+		WindowNs: int64(r.cfg.Window),
+		Buckets:  r.cfg.Buckets,
+		Ingested: r.ingested,
+		Late:     r.late,
+		Subs:     []subscriberJSON{},
+	}
+	if r.hasClock {
+		doc.Clock = time.Unix(0, r.clockNs).UTC().Format(time.RFC3339Nano)
+	}
+	addrs := make([]netip.Addr, 0, len(r.subs))
+	for addr := range r.subs {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Compare(addrs[j]) < 0 })
+	for _, addr := range addrs {
+		sub := r.subs[addr]
+		sj := subscriberJSON{Addr: addr.String()}
+		for i := range sub.ring {
+			b := &sub.ring[i]
+			if b.idx >= 0 && r.liveLocked(b.idx) && b.counts.Sessions > 0 {
+				sj.Buckets = append(sj.Buckets, bucketJSON{Idx: b.idx, Counts: b.counts})
+			}
+		}
+		if len(sj.Buckets) == 0 {
+			continue // fully aged out; prune from the checkpoint
+		}
+		sort.Slice(sj.Buckets, func(i, j int) bool { return sj.Buckets[i].Idx < sj.Buckets[j].Idx })
+		doc.Subs = append(doc.Subs, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("rollup: encoding checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds a rollup from a checkpoint written by Snapshot. The
+// window geometry (span and bucket count) comes from the document, so the
+// restored rollup continues with exactly the configuration that produced
+// the checkpoint.
+func Restore(rd io.Reader) (*Rollup, error) {
+	var doc checkpointJSON
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("rollup: decoding checkpoint: %w", err)
+	}
+	if doc.Format != checkpointFormat {
+		return nil, fmt.Errorf("rollup: unknown checkpoint format %q", doc.Format)
+	}
+	if doc.WindowNs <= 0 || doc.Buckets <= 0 {
+		return nil, fmt.Errorf("rollup: checkpoint with window %dns, %d buckets", doc.WindowNs, doc.Buckets)
+	}
+	r := New(Config{Window: time.Duration(doc.WindowNs), Buckets: doc.Buckets})
+	r.ingested = doc.Ingested
+	r.late = doc.Late
+	if doc.Clock != "" {
+		clock, err := time.Parse(time.RFC3339Nano, doc.Clock)
+		if err != nil {
+			return nil, fmt.Errorf("rollup: checkpoint clock: %w", err)
+		}
+		r.clockNs = clock.UnixNano()
+		r.hasClock = true
+	}
+	for _, sj := range doc.Subs {
+		addr, err := netip.ParseAddr(sj.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("rollup: checkpoint subscriber %q: %w", sj.Addr, err)
+		}
+		sub := newSubscriber(doc.Buckets)
+		for _, bj := range sj.Buckets {
+			if bj.Idx < 0 {
+				return nil, fmt.Errorf("rollup: subscriber %s: negative bucket index %d", sj.Addr, bj.Idx)
+			}
+			slot := &sub.ring[r.pos(bj.Idx)]
+			if slot.idx >= 0 {
+				return nil, fmt.Errorf("rollup: subscriber %s: buckets %d and %d share a ring slot",
+					sj.Addr, slot.idx, bj.Idx)
+			}
+			*slot = bucket{idx: bj.Idx, counts: bj.Counts}
+		}
+		r.subs[addr] = sub
+	}
+	return r, nil
+}
+
+// SaveFile checkpoints the rollup to path atomically (write-temp-rename via
+// the persist helper), so a crash mid-checkpoint leaves the previous
+// checkpoint intact.
+func (r *Rollup) SaveFile(path string) error {
+	return persist.Atomic(path, r.Snapshot)
+}
+
+// LoadFile restores a rollup from a checkpoint file written by SaveFile. A
+// missing file surfaces the os.Open error unchanged so callers can treat it
+// as a cold start.
+func LoadFile(path string) (*Rollup, error) {
+	var r *Rollup
+	err := persist.Load(path, func(rd io.Reader) error {
+		var err error
+		r, err = Restore(rd)
+		return err
+	})
+	return r, err
+}

@@ -1,0 +1,451 @@
+// Package rollup maintains the per-subscriber sliding-window aggregates the
+// paper's §5 operator dashboards watch: session counts, per-title share,
+// per-stage minutes, and the objective-vs-effective QoE mix, keyed by the
+// subscriber (client) address on the access side of each streaming flow.
+//
+// It consumes the report stream the flow lifecycle already produces — every
+// core.SessionReport emitted through a ReportSink, whether by TTL eviction
+// mid-run or by Finish — and buckets each report into a ring of fixed-width
+// time buckets per subscriber, so memory is O(subscribers × buckets)
+// regardless of how many reports the window has absorbed. Time is packet
+// time throughout, the same clock the lifecycle runs on: the rollup's clock
+// is the newest report end (or Advance instant) observed, so PCAP replay
+// and live capture aggregate identically. Aggregation is pure addition, so
+// the window state is independent of ingest order with one boundary
+// exception: entries older than the already-slid window are dropped as
+// late, and whether an entry beats the clock past its horizon depends on
+// arrival order. Feeding a deterministic order (population-ordered fleet
+// records, the engine's sorted Finish output) is therefore exactly
+// deterministic; a live multi-shard sink whose window is shorter than the
+// capture span can differ run-to-run only in which horizon-straddling
+// entries were late (counted in Stats.Late).
+//
+// The whole window state round-trips through a canonical JSON checkpoint
+// (Snapshot/Restore): a restarted monitor resumes the day's aggregations
+// exactly where the last checkpoint left them instead of losing the window.
+package rollup
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"gamelens/internal/core"
+	"gamelens/internal/flowdetect"
+	"gamelens/internal/qoe"
+	"gamelens/internal/trace"
+)
+
+// Config sizes the sliding window.
+type Config struct {
+	// Window is the sliding aggregation span (default 1 hour). The
+	// effective span is Window rounded down to a whole number of buckets.
+	Window time.Duration
+	// Buckets is the ring resolution (default 12): the window is divided
+	// into this many fixed-width buckets, and aggregates slide forward one
+	// bucket at a time as the packet clock advances.
+	Buckets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = time.Hour
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 12
+	}
+	return c
+}
+
+// width is the per-bucket span.
+func (c Config) width() time.Duration {
+	w := c.Window / time.Duration(c.Buckets)
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// Entry is one finished session attributed to a subscriber — the
+// rollup-facing distillation of a SessionReport (FromReport) or of a fleet
+// deployment record. Aggregation is pure addition over entries, so feeding
+// the same entry set in any order yields the same window state.
+type Entry struct {
+	// Subscriber is the client-side address the session is attributed to.
+	Subscriber netip.Addr
+	// End is the session's last packet timestamp; it selects the bucket
+	// and advances the rollup clock.
+	End time.Time
+	// Title is the classified catalog title name, or "" when the title
+	// classifier was not confident (long-tail sessions).
+	Title string
+	// Pattern is the inferred gameplay-activity pattern, used to group the
+	// sessions Title could not name.
+	Pattern string
+	// StageMinutes are the classified per-stage minutes (launch excluded
+	// by the pipeline's accounting).
+	StageMinutes [trace.NumStages]float64
+	// MeanDownMbps is the session-average downstream throughput.
+	MeanDownMbps float64
+	// Objective and Effective are the session QoE grades.
+	Objective qoe.Level
+	Effective qoe.Level
+	// Evicted marks sessions finalized by TTL eviction rather than Finish.
+	Evicted bool
+}
+
+// ClientAddr returns the subscriber-side address of a detected flow: the
+// endpoint that is not the streaming server. On the canonical key the
+// server is whichever side carries Flow.ServerPort (ties resolve to Src,
+// matching the detector's down-direction test).
+func ClientAddr(f *flowdetect.Flow) netip.Addr {
+	if f.Key.SrcPort == f.ServerPort {
+		return f.Key.Dst
+	}
+	return f.Key.Src
+}
+
+// FromReport distills one pipeline/engine session report into an Entry. A
+// report with a zero End (built straight from FlowSession.Report without
+// finalization) falls back to the flow's last-seen timestamp.
+func FromReport(r *core.SessionReport) Entry {
+	e := Entry{
+		Subscriber:   ClientAddr(r.Flow),
+		End:          r.End,
+		StageMinutes: r.StageMinutes,
+		MeanDownMbps: r.MeanDownMbps,
+		Objective:    r.Objective,
+		Effective:    r.Effective,
+		Evicted:      r.Evicted,
+	}
+	if e.End.IsZero() {
+		e.End = r.Flow.LastSeen
+	}
+	if r.Title.Known {
+		e.Title = r.Title.Title.String()
+	} else {
+		// Long-tail view: group by the (possibly force-inferred) pattern,
+		// mirroring the Fig 11b/12b/13b aggregation.
+		e.Pattern = r.Pattern.Pattern.String()
+	}
+	return e
+}
+
+// Counts is one additive aggregate: a bucket's contents, or a whole-window
+// sum of buckets.
+type Counts struct {
+	// Sessions counts finished sessions; Evicted is the subset finalized
+	// by TTL eviction.
+	Sessions int64 `json:"sessions"`
+	Evicted  int64 `json:"evicted,omitempty"`
+	// Titles counts sessions per classified catalog title; Patterns counts
+	// the unknown-title sessions per inferred gameplay pattern.
+	Titles   map[string]int64 `json:"titles,omitempty"`
+	Patterns map[string]int64 `json:"patterns,omitempty"`
+	// StageMinutes sums classified per-stage minutes, indexed by
+	// trace.Stage.
+	StageMinutes [trace.NumStages]float64 `json:"stage_minutes"`
+	// MbpsSum sums per-session mean downstream Mbps (divide by Sessions
+	// for the mean; see MeanDownMbps).
+	MbpsSum float64 `json:"mbps_sum"`
+	// Objective and Effective count sessions per QoE level, indexed by
+	// qoe.Level.
+	Objective [qoe.NumLevels]int64 `json:"objective"`
+	Effective [qoe.NumLevels]int64 `json:"effective"`
+}
+
+// add folds one entry in.
+func (c *Counts) add(e Entry) {
+	c.Sessions++
+	if e.Evicted {
+		c.Evicted++
+	}
+	if e.Title != "" {
+		if c.Titles == nil {
+			c.Titles = make(map[string]int64)
+		}
+		c.Titles[e.Title]++
+	} else if e.Pattern != "" {
+		if c.Patterns == nil {
+			c.Patterns = make(map[string]int64)
+		}
+		c.Patterns[e.Pattern]++
+	}
+	for st, m := range e.StageMinutes {
+		c.StageMinutes[st] += m
+	}
+	c.MbpsSum += e.MeanDownMbps
+	if e.Objective >= 0 && int(e.Objective) < qoe.NumLevels {
+		c.Objective[e.Objective]++
+	}
+	if e.Effective >= 0 && int(e.Effective) < qoe.NumLevels {
+		c.Effective[e.Effective]++
+	}
+}
+
+// merge folds another aggregate in (window summation over buckets).
+func (c *Counts) merge(o *Counts) {
+	c.Sessions += o.Sessions
+	c.Evicted += o.Evicted
+	for k, n := range o.Titles {
+		if c.Titles == nil {
+			c.Titles = make(map[string]int64)
+		}
+		c.Titles[k] += n
+	}
+	for k, n := range o.Patterns {
+		if c.Patterns == nil {
+			c.Patterns = make(map[string]int64)
+		}
+		c.Patterns[k] += n
+	}
+	for st := range o.StageMinutes {
+		c.StageMinutes[st] += o.StageMinutes[st]
+	}
+	c.MbpsSum += o.MbpsSum
+	for l := range o.Objective {
+		c.Objective[l] += o.Objective[l]
+		c.Effective[l] += o.Effective[l]
+	}
+}
+
+// MeanDownMbps returns the mean of the per-session throughput means.
+func (c *Counts) MeanDownMbps() float64 {
+	if c.Sessions == 0 {
+		return 0
+	}
+	return c.MbpsSum / float64(c.Sessions)
+}
+
+// GoodShare returns the fraction of sessions graded Good on the given
+// axis (true = effective, false = objective).
+func (c *Counts) GoodShare(effective bool) float64 {
+	if c.Sessions == 0 {
+		return 0
+	}
+	if effective {
+		return float64(c.Effective[qoe.Good]) / float64(c.Sessions)
+	}
+	return float64(c.Objective[qoe.Good]) / float64(c.Sessions)
+}
+
+// bucket is one ring slot: the absolute bucket number it currently holds
+// (end-time nanos / width, floored) and that span's aggregate. idx -1 marks
+// a slot that has never been written.
+type bucket struct {
+	idx    int64
+	counts Counts
+}
+
+// subscriber is one client address's ring of window buckets.
+type subscriber struct {
+	ring []bucket
+}
+
+func newSubscriber(buckets int) *subscriber {
+	s := &subscriber{ring: make([]bucket, buckets)}
+	for i := range s.ring {
+		s.ring[i].idx = -1
+	}
+	return s
+}
+
+// Rollup is the subsystem root. All methods are safe for concurrent use:
+// the engine's merged sink already serializes report delivery, but a
+// monitor snapshots (and a dashboard reads) while ingest continues, so the
+// rollup carries its own lock.
+type Rollup struct {
+	mu   sync.Mutex
+	cfg  Config
+	wNs  int64 // bucket width in nanos
+	subs map[netip.Addr]*subscriber
+
+	clockNs  int64 // newest packet-time instant observed, unix nanos
+	hasClock bool
+
+	ingested int64
+	late     int64
+}
+
+// New builds an empty rollup.
+func New(cfg Config) *Rollup {
+	cfg = cfg.withDefaults()
+	return &Rollup{
+		cfg:  cfg,
+		wNs:  int64(cfg.width()),
+		subs: make(map[netip.Addr]*subscriber),
+	}
+}
+
+// Stats are the rollup's observability counters.
+type Stats struct {
+	// Subscribers is the number of client addresses currently resident
+	// (some may have aged fully out of the window; Snapshot prunes those).
+	Subscribers int
+	// Ingested counts entries folded into the window since the start of
+	// the run (checkpoints carry it across restarts).
+	Ingested int64
+	// Late counts entries dropped because their end time had already aged
+	// out of the window (or carried an invalid subscriber address).
+	Late int64
+}
+
+// Stats returns the counters.
+func (r *Rollup) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{Subscribers: len(r.subs), Ingested: r.ingested, Late: r.late}
+}
+
+// Config returns the window geometry (with defaults resolved). A restored
+// rollup reports the checkpoint's geometry, so callers can detect a
+// mismatch with what they would have configured.
+func (r *Rollup) Config() Config { return r.cfg }
+
+// Clock returns the rollup's packet-time clock (zero before any entry).
+func (r *Rollup) Clock() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.hasClock {
+		return time.Time{}
+	}
+	return time.Unix(0, r.clockNs)
+}
+
+// Sink adapts the rollup to the pipeline/engine report stream: the returned
+// ReportSink feeds every report into the window. It composes with any other
+// sink the caller chains it with.
+func (r *Rollup) Sink() core.ReportSink {
+	return func(rep *core.SessionReport) { r.Observe(FromReport(rep)) }
+}
+
+// floorDiv is integer division rounding toward negative infinity, so bucket
+// numbering is monotonic across the epoch.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// pos maps an absolute bucket number onto its ring slot.
+func (r *Rollup) pos(idx int64) int {
+	p := int(idx % int64(r.cfg.Buckets))
+	if p < 0 {
+		p += r.cfg.Buckets
+	}
+	return p
+}
+
+// advanceLocked moves the clock forward (never backward) to ns.
+func (r *Rollup) advanceLocked(ns int64) {
+	if !r.hasClock || ns > r.clockNs {
+		r.clockNs = ns
+		r.hasClock = true
+	}
+}
+
+// Observe folds one entry into its subscriber's window. Entries at or ahead
+// of the clock advance it; entries older than the window (relative to the
+// advanced clock) are counted in Stats.Late and dropped — the window has
+// already slid past them, exactly as it would have live.
+func (r *Rollup) Observe(e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !e.Subscriber.IsValid() {
+		r.late++
+		return
+	}
+	end := e.End.UnixNano()
+	r.advanceLocked(end)
+	idx := floorDiv(end, r.wNs)
+	if idx <= floorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets) {
+		r.late++
+		return
+	}
+	sub := r.subs[e.Subscriber]
+	if sub == nil {
+		sub = newSubscriber(r.cfg.Buckets)
+		r.subs[e.Subscriber] = sub
+	}
+	b := &sub.ring[r.pos(idx)]
+	if b.idx != idx {
+		if b.idx > idx {
+			// The slot has rotated past this bucket already (possible only
+			// through out-of-order entries more than a window apart).
+			r.late++
+			return
+		}
+		*b = bucket{idx: idx}
+	}
+	b.counts.add(e)
+	r.ingested++
+}
+
+// Advance pushes the window clock to now (a packet-time instant) without
+// ingesting anything: buckets older than the slid window stop contributing
+// to queries and snapshots. Monitors call it alongside Engine.ExpireIdle so
+// the dashboard ages out even when no sessions are finishing.
+func (r *Rollup) Advance(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advanceLocked(now.UnixNano())
+}
+
+// liveLocked reports whether an absolute bucket number is inside the
+// current window.
+func (r *Rollup) liveLocked(idx int64) bool {
+	if !r.hasClock {
+		return false
+	}
+	return idx > floorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets)
+}
+
+// Aggregate is one subscriber's whole-window summary.
+type Aggregate struct {
+	Subscriber netip.Addr
+	Window     Counts
+}
+
+// Subscribers returns the per-subscriber window aggregates, sorted by
+// address, omitting subscribers whose buckets have all aged out.
+func (r *Rollup) Subscribers() []Aggregate {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Aggregate, 0, len(r.subs))
+	for addr, sub := range r.subs {
+		agg := Aggregate{Subscriber: addr}
+		for i := range sub.ring {
+			b := &sub.ring[i]
+			if b.idx >= 0 && r.liveLocked(b.idx) {
+				agg.Window.merge(&b.counts)
+			}
+		}
+		if agg.Window.Sessions > 0 {
+			out = append(out, agg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Subscriber.Compare(out[j].Subscriber) < 0
+	})
+	return out
+}
+
+// Total returns the fleet-wide window aggregate (every live bucket of every
+// subscriber summed).
+func (r *Rollup) Total() Counts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total Counts
+	for _, sub := range r.subs {
+		for i := range sub.ring {
+			b := &sub.ring[i]
+			if b.idx >= 0 && r.liveLocked(b.idx) {
+				total.merge(&b.counts)
+			}
+		}
+	}
+	return total
+}

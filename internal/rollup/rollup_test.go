@@ -1,0 +1,327 @@
+package rollup
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gamelens/internal/core"
+	"gamelens/internal/flowdetect"
+	"gamelens/internal/gamesim"
+	"gamelens/internal/packet"
+	"gamelens/internal/qoe"
+	"gamelens/internal/stageclass"
+	"gamelens/internal/trace"
+)
+
+var base = time.Date(2026, 7, 1, 6, 0, 0, 0, time.UTC)
+
+// entry synthesizes a deterministic test entry for subscriber sub ending at
+// base+offset.
+func entry(sub int, offset time.Duration, title string, eff qoe.Level) Entry {
+	e := Entry{
+		Subscriber:   netip.AddrFrom4([4]byte{10, 0, 0, byte(sub)}),
+		End:          base.Add(offset),
+		Title:        title,
+		MeanDownMbps: 10 + float64(sub),
+		Objective:    qoe.Medium,
+		Effective:    eff,
+	}
+	if title == "" {
+		e.Pattern = "continuous"
+	}
+	e.StageMinutes[trace.StageActive] = 5
+	e.StageMinutes[trace.StageIdle] = 1.5
+	return e
+}
+
+func TestWindowAggregation(t *testing.T) {
+	r := New(Config{Window: time.Hour, Buckets: 6})
+	r.Observe(entry(1, 0, "Fortnite", qoe.Good))
+	r.Observe(entry(1, 5*time.Minute, "Fortnite", qoe.Bad))
+	r.Observe(entry(1, 20*time.Minute, "", qoe.Good))
+	r.Observe(entry(2, 25*time.Minute, "Hearthstone", qoe.Good))
+
+	aggs := r.Subscribers()
+	if len(aggs) != 2 {
+		t.Fatalf("%d subscribers, want 2", len(aggs))
+	}
+	a := aggs[0].Window
+	if a.Sessions != 3 || a.Titles["Fortnite"] != 2 || a.Patterns["continuous"] != 1 {
+		t.Errorf("subscriber 1 window wrong: %+v", a)
+	}
+	if got := a.StageMinutes[trace.StageActive]; got != 15 {
+		t.Errorf("active minutes = %v, want 15", got)
+	}
+	if a.Effective[qoe.Good] != 2 || a.Effective[qoe.Bad] != 1 {
+		t.Errorf("effective mix wrong: %v", a.Effective)
+	}
+	if got := aggs[1].Window.MeanDownMbps(); got != 12 {
+		t.Errorf("subscriber 2 mean Mbps = %v, want 12", got)
+	}
+	total := r.Total()
+	if total.Sessions != 4 {
+		t.Errorf("total sessions = %d, want 4", total.Sessions)
+	}
+	if st := r.Stats(); st.Ingested != 4 || st.Late != 0 || st.Subscribers != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestWindowSlides pins the ring mechanics: entries older than the window
+// stop contributing once the clock advances, their ring slots are reused,
+// and entries arriving from before the slid window are dropped as late.
+func TestWindowSlides(t *testing.T) {
+	r := New(Config{Window: time.Hour, Buckets: 6}) // 10-minute buckets
+	r.Observe(entry(1, 0, "Fortnite", qoe.Good))
+	if got := r.Total().Sessions; got != 1 {
+		t.Fatalf("sessions = %d, want 1", got)
+	}
+
+	// Advance the clock one full window: the old bucket ages out of every
+	// query even though nothing new was ingested into that subscriber.
+	r.Advance(base.Add(61 * time.Minute))
+	if got := r.Total().Sessions; got != 0 {
+		t.Errorf("sessions after slide = %d, want 0", got)
+	}
+	if got := len(r.Subscribers()); got != 0 {
+		t.Errorf("aged-out subscriber still reported: %d", got)
+	}
+
+	// A late entry from before the slid window is dropped and counted.
+	r.Observe(entry(1, 30*time.Second, "Fortnite", qoe.Good))
+	if st := r.Stats(); st.Late != 1 || st.Ingested != 1 {
+		t.Errorf("late entry not dropped: %+v", st)
+	}
+
+	// A fresh entry lands in a slot the old bucket occupied (6 buckets, 70
+	// minutes later: same ring position range) and must not inherit counts.
+	r.Observe(entry(1, 65*time.Minute, "Hearthstone", qoe.Good))
+	total := r.Total()
+	if total.Sessions != 1 || total.Titles["Fortnite"] != 0 || total.Titles["Hearthstone"] != 1 {
+		t.Errorf("slot reuse leaked old counts: %+v", total)
+	}
+
+	// Invalid subscriber addresses are dropped, not aggregated.
+	r.Observe(Entry{End: base.Add(66 * time.Minute)})
+	if st := r.Stats(); st.Late != 2 {
+		t.Errorf("invalid-address entry not counted late: %+v", st)
+	}
+}
+
+// TestObserveOrderIndependent feeds the same full-window entry set in two
+// orders and requires identical checkpoints — aggregation is pure addition,
+// and within one window nothing is order-sensitive.
+func TestObserveOrderIndependent(t *testing.T) {
+	entries := []Entry{
+		entry(1, 0, "Fortnite", qoe.Good),
+		entry(2, 10*time.Minute, "", qoe.Bad),
+		entry(1, 20*time.Minute, "Fortnite", qoe.Medium),
+		entry(3, 30*time.Minute, "Hearthstone", qoe.Good),
+		entry(1, 40*time.Minute, "", qoe.Good),
+	}
+	fwd := New(Config{Window: time.Hour, Buckets: 6})
+	for _, e := range entries {
+		fwd.Observe(e)
+	}
+	rev := New(Config{Window: time.Hour, Buckets: 6})
+	for i := len(entries) - 1; i >= 0; i-- {
+		rev.Observe(entries[i])
+	}
+	var a, b bytes.Buffer
+	if err := fwd.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rev.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("checkpoints differ by ingest order:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestCheckpointRoundTrip pins the snapshot-restore identity: restoring a
+// checkpoint and snapshotting again must reproduce it byte for byte, and
+// the restored window must answer queries identically.
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := New(Config{Window: 2 * time.Hour, Buckets: 8})
+	for i := 0; i < 40; i++ {
+		title := ""
+		if i%3 != 0 {
+			title = "Fortnite"
+		}
+		r.Observe(entry(i%5, time.Duration(i)*3*time.Minute, title, qoe.Level(i%3)))
+	}
+
+	var first bytes.Buffer
+	if err := r.Snapshot(&first); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.Snapshot(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("snapshot-restore-snapshot not the identity:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	if got, want := restored.Stats(), r.Stats(); got != want {
+		t.Errorf("restored stats %+v, want %+v", got, want)
+	}
+	if !restored.Clock().Equal(r.Clock()) {
+		t.Errorf("restored clock %v, want %v", restored.Clock(), r.Clock())
+	}
+	wantAggs, gotAggs := r.Subscribers(), restored.Subscribers()
+	if len(gotAggs) != len(wantAggs) {
+		t.Fatalf("restored %d subscribers, want %d", len(gotAggs), len(wantAggs))
+	}
+	for i := range wantAggs {
+		if gotAggs[i].Subscriber != wantAggs[i].Subscriber ||
+			gotAggs[i].Window.Sessions != wantAggs[i].Window.Sessions ||
+			gotAggs[i].Window.MbpsSum != wantAggs[i].Window.MbpsSum {
+			t.Errorf("subscriber %d diverged after restore", i)
+		}
+	}
+}
+
+// TestCheckpointRestoreThenContinue is the restart-resume equivalence the
+// §5 deployment needs: checkpoint mid-stream, restore into a fresh rollup,
+// feed the remainder — the final checkpoint must be byte-identical to an
+// uninterrupted run over the same entry stream.
+func TestCheckpointRestoreThenContinue(t *testing.T) {
+	var entries []Entry
+	for i := 0; i < 60; i++ {
+		title := ""
+		switch i % 4 {
+		case 0:
+			title = "Fortnite"
+		case 1:
+			title = "Hearthstone"
+		}
+		entries = append(entries, entry(i%7, time.Duration(i)*2*time.Minute, title, qoe.Level(i%3)))
+	}
+
+	cfg := Config{Window: time.Hour, Buckets: 6}
+	uninterrupted := New(cfg)
+	for _, e := range entries {
+		uninterrupted.Observe(e)
+	}
+
+	for _, mid := range []int{1, 17, 30, 59} {
+		first := New(cfg)
+		for _, e := range entries[:mid] {
+			first.Observe(e)
+		}
+		var ckpt bytes.Buffer
+		if err := first.Snapshot(&ckpt); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := Restore(&ckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries[mid:] {
+			resumed.Observe(e)
+		}
+
+		var want, got bytes.Buffer
+		if err := uninterrupted.Snapshot(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.Snapshot(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("mid=%d: resumed run diverged from uninterrupted:\n%s\nvs\n%s",
+				mid, want.String(), got.String())
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "..", "rollup.ckpt") // exercises Dir handling
+	r := New(Config{})
+	r.Observe(entry(1, time.Minute, "Fortnite", qoe.Good))
+	if err := r.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Total().Sessions; got != 1 {
+		t.Errorf("restored sessions = %d, want 1", got)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("missing checkpoint error = %v, want IsNotExist", err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":     "patently not json",
+		"wrong format": `{"format":"gamelens-forest-v1","window_ns":1,"buckets":1}`,
+		"bad geometry": `{"format":"gamelens-rollup-v1","window_ns":0,"buckets":0}`,
+		"bad addr":     `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,"subscribers":[{"addr":"nope","buckets":[]}]}`,
+		"dup slot": `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1}},{"idx":7,"counts":{"sessions":1}}]}]}`,
+	} {
+		if _, err := Restore(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Restore accepted invalid checkpoint", name)
+		}
+	}
+}
+
+// reportFor builds an unfinalized-looking session report for a flow: title
+// unknown (long-tail), pattern inferred, ended at end.
+func reportFor(f *flowdetect.Flow, end time.Time) *core.SessionReport {
+	r := &core.SessionReport{
+		Flow:         f,
+		Pattern:      stageclass.PatternResult{Pattern: gamesim.ContinuousPlay},
+		MeanDownMbps: 14,
+		Objective:    qoe.Medium,
+		Effective:    qoe.Good,
+		End:          end,
+	}
+	r.StageMinutes[trace.StageActive] = 4
+	return r
+}
+
+// TestFromReport pins the report→entry distillation, including the
+// client-address attribution on canonical keys.
+func TestFromReport(t *testing.T) {
+	server := netip.MustParseAddr("203.0.113.10")
+	client := netip.MustParseAddr("192.0.2.77")
+	key := packet.FlowKey{
+		Src: server, Dst: client, SrcPort: 9295, DstPort: 51000, Proto: packet.ProtoUDP,
+	}.Canonical()
+	f := &flowdetect.Flow{Key: key, ServerPort: 9295, LastSeen: base.Add(9 * time.Minute)}
+	if got := ClientAddr(f); got != client {
+		t.Fatalf("ClientAddr = %v, want %v", got, client)
+	}
+
+	// End falls back to the flow's last-seen when the report was not
+	// finalized.
+	rep := reportFor(f, base.Add(5*time.Minute))
+	e := FromReport(rep)
+	if e.Subscriber != client {
+		t.Errorf("subscriber = %v, want %v", e.Subscriber, client)
+	}
+	if !e.End.Equal(base.Add(5 * time.Minute)) {
+		t.Errorf("end = %v, want report end", e.End)
+	}
+	rep.End = time.Time{}
+	if e := FromReport(rep); !e.End.Equal(f.LastSeen) {
+		t.Errorf("zero-End fallback = %v, want flow LastSeen", e.End)
+	}
+	if e.Title != "" || e.Pattern == "" {
+		t.Errorf("unknown title must group by pattern, got title=%q pattern=%q", e.Title, e.Pattern)
+	}
+}
