@@ -2,17 +2,25 @@
 #
 # `make check` is the full gate: formatting, vet, build, the whole test
 # suite under the race detector (the engine and fleet exercise real
-# concurrency, so the race pass is load-bearing, not ceremonial), and a
-# one-iteration short-mode bench smoke so the lifecycle/engine benchmarks
-# keep compiling and running in CI. `make test` is the quicker ROADMAP
-# tier-1 (build + tests without -race) for inner-loop runs.
+# concurrency, so the race pass is load-bearing, not ceremonial), the
+# allocation gate (the zero-allocation steady-state pins skip under -race,
+# so they get a plain-build pass of their own), and a one-iteration
+# short-mode bench smoke so the lifecycle/engine benchmarks keep compiling
+# and running in CI. `make test` is the quicker ROADMAP tier-1 (build +
+# tests without -race) for inner-loop runs.
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke
+# The bench target pipes `go test` into benchjson; without pipefail a
+# failing benchmark (including BenchmarkSteadyState's shard-equivalence
+# pre-check) would be masked by the converter's zero exit.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-check: fmt vet build race benchsmoke ckptsmoke
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate
+
+check: fmt vet build race allocgate benchsmoke ckptsmoke
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -31,16 +39,28 @@ test: build
 race:
 	$(GO) test -race ./...
 
-# The engine scaling curve vs the single-threaded pipeline, the lifecycle
-# memory-bound comparison, and the rollup report-stream hot path.
-bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest' -benchtime 3x .
+# The steady-state allocation pins, run without -race (the race build
+# allocates on paths the production build does not, so the counts are only
+# meaningful plain). Every pinned path — Tracker.Push,
+# StageFeatureExtractor.Push, Forest.PredictProbaInto, Rollup.Observe —
+# must measure 0 allocs/op.
+allocgate:
+	$(GO) test -run 'Allocs$$' -count=1 ./internal/mlkit ./internal/features ./internal/stageclass ./internal/rollup
 
-# One cheap iteration of the lifecycle and rollup benches in short mode: a
-# CI smoke that the bench code compiles and its invariants hold, without
+# The engine scaling curve vs the single-threaded pipeline, the lifecycle
+# memory-bound comparison, the rollup report-stream hot path, and the
+# full-path steady-state benchmark. Results land in BENCH_4.json
+# (benchmark → ns/op, B/op, allocs/op, custom metrics) so the perf
+# trajectory is machine-readable across PRs.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_4.json
+
+# One cheap iteration of the lifecycle, rollup and steady-state benches in
+# short mode: a CI smoke that the bench code compiles and its invariants
+# (report counts, shard equivalence, bounded detector) hold, without
 # bench-grade cost.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEviction|BenchmarkRollupIngest' -benchtime 1x -short .
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState' -benchtime 1x -short .
 
 # Rollup checkpoint round-trip smoke: the snapshot→restore→snapshot
 # identity and the restart-resume equivalence, standalone and fast, so a

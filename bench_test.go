@@ -338,6 +338,78 @@ func evictionStream(b *testing.B) *gamesim.PacketStream {
 	return evictStream
 }
 
+// BenchmarkSteadyState drives a long multi-flow capture through the full
+// deployment path — sharded engine → per-shard pipelines → per-subscriber
+// rollup, with TTL eviction streaming reports through the merged sink — and
+// reports ns/pkt, pkts/s and (via ReportAllocs) the per-iteration B/op that
+// the zero-allocation hot-path work tracks across PRs (BENCH_4.json). Before
+// timing, it pins the correctness side: the order-normalized report set is
+// byte-identical at shards 1..8 and identical to the single-threaded
+// pipeline on the same capture.
+func BenchmarkSteadyState(b *testing.B) {
+	m := engineModels(b)
+	st := evictionStream(b)
+
+	render := func(reports []*SessionReport) string {
+		var sb []byte
+		for _, r := range reports {
+			sb = append(sb, r.String()...)
+			sb = append(sb, '\n')
+		}
+		return string(sb)
+	}
+	runOnce := func(shards int) string {
+		if shards == 0 {
+			pipe := NewPipeline(PipelineConfig{}, m)
+			err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+				pipe.HandlePacket(ts, dec, payload)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return render(pipe.Finish())
+		}
+		eng := NewEngine(EngineConfig{Shards: shards}, m)
+		if err := st.Replay(eng.HandlePacket); err != nil {
+			b.Fatal(err)
+		}
+		return render(eng.Finish())
+	}
+	want := runOnce(0)
+	for _, shards := range []int{1, 2, 4, 8} {
+		if got := runOnce(shards); got != want {
+			b.Fatalf("shards=%d reports differ from pipeline:\n%s\nwant:\n%s", shards, got, want)
+		}
+	}
+
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ru := NewRollup(RollupConfig{Window: time.Hour, Buckets: 12})
+				eng := NewEngine(EngineConfig{
+					Shards:     shards,
+					Sink:       ru.Sink(),
+					StreamOnly: true,
+					Pipeline:   PipelineConfig{FlowTTL: 15 * time.Second},
+				}, m)
+				if err := st.Replay(eng.HandlePacket); err != nil {
+					b.Fatal(err)
+				}
+				eng.Finish()
+				if rs := ru.Stats(); rs.Ingested+rs.Late != int64(len(st.Flows)) {
+					b.Fatalf("rollup saw %d entries, want %d", rs.Ingested+rs.Late, len(st.Flows))
+				}
+			}
+			b.StopTimer()
+			pkts := float64(st.Total) * float64(b.N)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pkts, "ns/pkt")
+			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
 // BenchmarkRollupIngest times the report-stream hot path of the
 // per-subscriber rollup subsystem: folding one finished session into its
 // window bucket. Entry timestamps march forward so the ring keeps
@@ -380,8 +452,11 @@ func BenchmarkRollupIngest(b *testing.B) {
 // BenchmarkPipelineEviction compares the unbounded baseline (every session
 // resident until Finish) against TTL eviction on a long many-flow capture.
 // live_flows is the peak resident session count — bounded and small under
-// eviction, equal to the total flow count without it — and ReportAllocs
-// shows the per-iteration allocation cost of the lifecycle machinery.
+// eviction, equal to the total flow count without it — det_flows is the
+// packet filter's peak flow-table size (eviction must free detector entries
+// along with sessions, or the filter table grows without bound even when
+// the session table is TTL-bounded), and ReportAllocs shows the
+// per-iteration allocation cost of the lifecycle machinery.
 func BenchmarkPipelineEviction(b *testing.B) {
 	m := engineModels(b)
 	st := evictionStream(b)
@@ -389,7 +464,7 @@ func BenchmarkPipelineEviction(b *testing.B) {
 	run := func(b *testing.B, cfg PipelineConfig) {
 		b.ReportAllocs()
 		b.ResetTimer()
-		peak := 0
+		peak, peakDet := 0, 0
 		for i := 0; i < b.N; i++ {
 			reports := 0
 			cfg.Sink = func(*SessionReport) { reports++ }
@@ -400,6 +475,9 @@ func BenchmarkPipelineEviction(b *testing.B) {
 				if n := pipe.NumFlows(); n > live {
 					live = n
 				}
+				if n := pipe.DetectorFlows(); n > peakDet {
+					peakDet = n
+				}
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -408,12 +486,21 @@ func BenchmarkPipelineEviction(b *testing.B) {
 			if reports != len(st.Flows) {
 				b.Fatalf("%d reports, want %d", reports, len(st.Flows))
 			}
+			if pipe.NumFlows() != 0 || pipe.DetectorFlows() != 0 {
+				b.Fatalf("flow state after Finish: %d sessions, %d detector flows; want 0/0",
+					pipe.NumFlows(), pipe.DetectorFlows())
+			}
 			if live > peak {
 				peak = live
 			}
 		}
+		if cfg.FlowTTL > 0 && peakDet >= len(st.Flows) {
+			b.Fatalf("detector peaked at %d flows with a TTL; eviction is not freeing filter entries (total %d)",
+				peakDet, len(st.Flows))
+		}
 		b.ReportMetric(float64(st.Total)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		b.ReportMetric(float64(peak), "live_flows")
+		b.ReportMetric(float64(peakDet), "det_flows")
 	}
 
 	b.Run("unbounded", func(b *testing.B) {

@@ -1,0 +1,95 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON document for the performance trajectory (BENCH_N.json files checked
+// in per perf PR).
+//
+// It reads benchmark output on stdin, echoes it unchanged to stdout (so it
+// drops into a pipe without hiding the human-readable results), and writes
+// one JSON object to the -o file: benchmark name (GOMAXPROCS suffix
+// stripped) → metric name → value, covering the standard ns/op, B/op and
+// allocs/op columns plus any custom b.ReportMetric units (pkts/s, ns/pkt,
+// live_flows, …). Keys are sorted, so the file diffs cleanly across runs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (stdout when empty)")
+	flag.Parse()
+
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		parseLine(strings.TrimSpace(line), results)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encoding: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine folds one "BenchmarkName-N  iters  v unit  v unit ..." result
+// row into results; anything else is ignored.
+func parseLine(line string, results map[string]map[string]float64) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return
+	}
+	iters, err := strconv.ParseFloat(f[1], 64)
+	if err != nil {
+		return // e.g. "Benchmarking..." prose, not a result row
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	r := results[name]
+	if r == nil {
+		r = make(map[string]float64)
+		results[name] = r
+	}
+	r["iterations"] = iters
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		r[f[i+1]] = v
+	}
+}

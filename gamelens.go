@@ -89,6 +89,44 @@
 //	// ... periodically: ru.SaveFile("rollup.ckpt")
 //	// after a restart: ru, err := gamelens.LoadRollup("rollup.ckpt")
 //
+// # Performance model
+//
+// The steady-state hot path — per packet and per closed slot, on every
+// flow, forever — is allocation-free; garbage is confined to per-flow and
+// per-event edges. What allocates when:
+//
+//   - Per packet: nothing. Engine batches recycle through a per-shard free
+//     list with pre-sized payload buffers, the pipeline's slot accounting
+//     mutates fixed per-flow state, and launch buffering appends into
+//     buffers recycled from previously decided flows.
+//   - Per closed slot: nothing. stageclass.Tracker.Push runs the feature
+//     extractor, the stage forest, the transition matrix and the pattern
+//     forest entirely in tracker-owned scratch; QoE levels accumulate into
+//     fixed-size per-flow histograms. Pinned at 0 allocs/op by the
+//     allocgate tests (`make check`).
+//   - Per flow: session construction (tracker + scratch) at first packet,
+//     and one title decision per flow (feature bucketing state is pooled
+//     package-wide; the classification itself runs in pipeline-owned
+//     scratch).
+//   - Per report: one SessionReport at eviction/Finish; a rollup absorbs
+//     it with zero allocations once its subscriber's window bucket is warm.
+//
+// Scratch-buffer borrow rules, for callers composing the internals: every
+// `...Into(x, dst)` method (mlkit.Classifier.PredictProbaInto,
+// TransitionMatrix.ProbabilitiesInto, features.LaunchAttributesInto)
+// writes through the dst you own and returns it. Two methods return
+// borrowed views instead: StageFeatureExtractor.Push returns
+// extractor-owned scratch overwritten by the next Push, and
+// mlkit.Tree.PredictProba returns a read-only row of the tree's backing
+// array. Copy either if you keep it past the next call. Trees store all
+// leaf distributions in one contiguous array per tree (cache-dense walks,
+// two allocations per tree), and Forest.PredictProbaInto accumulates votes
+// without materializing any per-tree distribution.
+//
+// BenchmarkSteadyState drives the full engine→pipeline→rollup path and
+// reports ns/pkt, pkts/s and B/op; `make bench` records the trajectory in
+// BENCH_4.json, and `make check`'s allocgate pins the 0-alloc guarantees.
+//
 // Quickstart:
 //
 //	models, _ := gamelens.TrainDefaultModels(42)

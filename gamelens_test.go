@@ -7,16 +7,27 @@ import (
 
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
+	"gamelens/internal/stageclass"
 	"gamelens/internal/titleclass"
 	"gamelens/internal/trace"
 )
 
 func smallTrainOptions() TrainOptions {
-	return TrainOptions{
+	opts := TrainOptions{
 		SessionsPerTitle: 5,
 		SessionLength:    12 * time.Minute,
 		TitleConfig:      titleclass.Config{Forest: mlkit.ForestConfig{NumTrees: 60, MaxDepth: 10}},
 	}
+	if raceEnabled {
+		opts.SessionsPerTitle = 2
+		opts.SessionLength = 6 * time.Minute
+		opts.TitleConfig.Forest.NumTrees = 20
+		opts.StageConfig = stageclass.Config{
+			StageForest:   mlkit.ForestConfig{NumTrees: 15, MaxDepth: 10},
+			PatternForest: mlkit.ForestConfig{NumTrees: 15, MaxDepth: 10},
+		}
+	}
+	return opts
 }
 
 func TestTrainModelsAndClassify(t *testing.T) {

@@ -98,6 +98,7 @@ func (p *Pipeline) sweep() int {
 	for _, fs := range victims {
 		p.lc.emit(p.finalize(fs, true))
 		delete(p.flows, fs.Flow.Key)
+		p.det.Remove(fs.Flow.Key)
 		p.lc.evicted++
 	}
 	p.det.Expire(cutoff)
@@ -134,8 +135,8 @@ func (p *Pipeline) ExpireIdle(now time.Time) int {
 }
 
 // CreatedFlows returns the cumulative number of gaming-flow sessions ever
-// tracked, including evicted ones. CreatedFlows() - EvictedFlows() ==
-// NumFlows() (the live count).
+// tracked, including evicted ones. Until Finish frees the remaining
+// sessions, CreatedFlows() - EvictedFlows() == NumFlows() (the live count).
 func (p *Pipeline) CreatedFlows() int64 { return p.lc.created }
 
 // EvictedFlows returns how many sessions TTL eviction has finalized.

@@ -259,6 +259,63 @@ func TestExpireIdleForcesSweep(t *testing.T) {
 	}
 }
 
+// TestLifecycleFreesDetectorState pins that finalizing a session — by TTL
+// eviction or by Finish — frees its detector entry too: without that, the
+// packet filter's flow table grows with every flow ever seen even when the
+// session table is bounded by the TTL.
+func TestLifecycleFreesDetectorState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	flows := 4
+	length := 40 * time.Second
+	if raceEnabled {
+		flows = 2
+	}
+	st := lifecycleStream(t, flows, length, length+30*time.Second)
+
+	p := New(Config{FlowTTL: 10 * time.Second}, tm, sm)
+	peakDet := 0
+	var last time.Time
+	if err := st.Replay(func(ts time.Time, dec *packet.Decoded, payload []byte) {
+		p.HandlePacket(ts, dec, payload)
+		last = ts
+		if n := p.DetectorFlows(); n > peakDet {
+			peakDet = n
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A non-gaming flow the detector will reject: its entry has no session
+	// to finalize, so only Finish's full filter reset can free it.
+	for i := 0; i < 250; i++ {
+		var dec packet.Decoded
+		dec.HasIP4, dec.HasUDP = true, true
+		dec.IP4.Src, dec.IP4.Dst = netipAddr(8, 8, 8, 8), netipAddr(10, 0, 0, 9)
+		dec.UDP.SrcPort, dec.UDP.DstPort = 53, 40001
+		p.HandlePacket(last.Add(time.Duration(i)*time.Millisecond), &dec, make([]byte, 60))
+	}
+	if n := p.DetectorFlows(); n == 0 {
+		t.Fatal("rejected flow not tracked; the Finish assertion below would be vacuous")
+	}
+	// Flows run strictly one at a time (stagger > length + TTL), so the
+	// detector must never have held more than one of them concurrently —
+	// the evicted sessions' entries were removed, not merely superseded.
+	if peakDet >= flows {
+		t.Errorf("detector held %d flows at peak; eviction is not freeing entries (total flows %d)", peakDet, flows)
+	}
+	if p.Finish(); p.NumFlows() != 0 {
+		t.Errorf("%d live sessions after Finish, want 0", p.NumFlows())
+	}
+	if n := p.DetectorFlows(); n != 0 {
+		t.Errorf("%d detector flows after Finish, want 0 (fully freed)", n)
+	}
+	if got := int(p.CreatedFlows()); got != flows {
+		t.Errorf("CreatedFlows = %d, want %d", got, flows)
+	}
+}
+
 // TestEvictionKeepsSlotAccounting ensures an evicted flow's report carries
 // the same stage-minute accounting the Finish-only path would produce —
 // eviction finalizes, it does not truncate.

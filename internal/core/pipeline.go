@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"gamelens/internal/features"
 	"gamelens/internal/flowdetect"
 	"gamelens/internal/gamesim"
 	"gamelens/internal/packet"
@@ -79,18 +80,41 @@ type Pipeline struct {
 	stages *stageclass.Classifier
 	flows  map[packet.FlowKey]*FlowSession
 	lc     lifecycle
+
+	// Hoisted per-slot constants: closeSlot runs once per native slot per
+	// flow, so the config lookups it used to repeat live here instead.
+	vol     features.VolumetricConfig
+	native  int     // native slots per I-wide tracker slot
+	slotMin float64 // vol.I in minutes, the per-slot stage time credit
+	window  time.Duration
+	lagMs   float64
+
+	// titleSc is the title-classification scratch reused across flows, and
+	// launchFree recycles decided flows' launch buffers for later flows.
+	titleSc    titleclass.Scratch
+	launchFree [][]trace.Pkt
 }
 
 // New assembles a pipeline around trained classifiers.
 func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Pipeline {
 	cfg = cfg.withDefaults()
+	vol := stages.Config().Volumetric
+	native := int(vol.I / trace.SlotDuration)
+	if native < 1 {
+		native = 1
+	}
 	return &Pipeline{
-		cfg:    cfg,
-		det:    flowdetect.New(cfg.Filter),
-		titles: titles,
-		stages: stages,
-		flows:  make(map[packet.FlowKey]*FlowSession),
-		lc:     newLifecycle(cfg),
+		cfg:     cfg,
+		det:     flowdetect.New(cfg.Filter),
+		titles:  titles,
+		stages:  stages,
+		flows:   make(map[packet.FlowKey]*FlowSession),
+		lc:      newLifecycle(cfg),
+		vol:     vol,
+		native:  native,
+		slotMin: vol.I.Minutes(),
+		window:  titles.Config().Window,
+		lagMs:   cfg.QoSLag.Seconds() * 1000,
 	}
 }
 
@@ -116,9 +140,12 @@ type FlowSession struct {
 	Pattern      stageclass.PatternResult
 	PatternKnown bool
 
-	// Objective and Effective accumulate per-slot QoE levels.
-	objective []qoe.Level
-	effective []qoe.Level
+	// objCounts and effCounts accumulate per-slot QoE levels as fixed-size
+	// histograms: the session grade is the majority level, so the counts
+	// carry everything a report derives and a session of any length costs
+	// O(1) memory (the slices they replaced grew one entry per slot).
+	objCounts [qoe.NumLevels]int64
+	effCounts [qoe.NumLevels]int64
 
 	launchBuf []trace.Pkt
 	tracker   *stageclass.Tracker
@@ -194,6 +221,10 @@ func (p *Pipeline) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byt
 			Start:   f.FirstSeen,
 			tracker: p.stages.NewTracker(p.cfg.LaunchWindow),
 		}
+		if n := len(p.launchFree); n > 0 {
+			fs.launchBuf = p.launchFree[n-1]
+			p.launchFree = p.launchFree[:n-1]
+		}
 		p.flows[key] = fs
 		p.lc.created++
 	}
@@ -218,8 +249,7 @@ func (p *Pipeline) feed(fs *FlowSession, ts time.Time, dec *packet.Decoded, payl
 	rec := trace.Pkt{T: offset, Dir: dir, Size: len(payload)}
 
 	// Launch buffer for title classification.
-	window := p.titles.Config().Window
-	if offset < window+time.Second {
+	if offset < p.window+time.Second {
 		fs.launchBuf = append(fs.launchBuf, rec)
 	} else if !fs.TitleDecided {
 		p.decideTitle(fs)
@@ -236,21 +266,31 @@ func (p *Pipeline) feed(fs *FlowSession, ts time.Time, dec *packet.Decoded, payl
 }
 
 // decideTitle runs the title classifier once over the buffered launch
-// window.
+// window, then recycles the launch buffer for a later flow. feed appends in
+// timestamp order per flow, so the buffer is normally already sorted and
+// the sort is skipped; a multi-queue tap that delivers one flow's packets
+// out of order still gets the full sort.
 func (p *Pipeline) decideTitle(fs *FlowSession) {
-	sort.Slice(fs.launchBuf, func(i, j int) bool { return fs.launchBuf[i].T < fs.launchBuf[j].T })
-	fs.Title = p.titles.Classify(fs.launchBuf)
+	buf := fs.launchBuf
+	if !sort.SliceIsSorted(buf, func(i, j int) bool { return buf[i].T < buf[j].T }) {
+		sort.Slice(buf, func(i, j int) bool { return buf[i].T < buf[j].T })
+	}
+	fs.Title = p.titles.ClassifyWith(buf, &p.titleSc)
 	fs.TitleDecided = true
+	p.recycleLaunch(fs)
+}
+
+// recycleLaunch returns a session's launch buffer to the pipeline's free
+// list (bounded — beyond that the garbage collector takes over).
+func (p *Pipeline) recycleLaunch(fs *FlowSession) {
+	if cap(fs.launchBuf) > 0 && len(p.launchFree) < 32 {
+		p.launchFree = append(p.launchFree, fs.launchBuf[:0])
+	}
 	fs.launchBuf = nil
 }
 
 // closeSlot finalizes the current native slot and advances.
 func (p *Pipeline) closeSlot(fs *FlowSession) {
-	vol := p.stages.Config().Volumetric
-	native := int(vol.I / trace.SlotDuration)
-	if native < 1 {
-		native = 1
-	}
 	// Accumulate native slots into the I-wide slot the tracker expects.
 	fs.pendingI.DownBytes += fs.curSlot.DownBytes
 	fs.pendingI.DownPkts += fs.curSlot.DownPkts
@@ -260,7 +300,7 @@ func (p *Pipeline) closeSlot(fs *FlowSession) {
 	fs.curSlot = trace.Slot{}
 	fs.slotIdx++
 	fs.secs += trace.SlotDuration.Seconds()
-	if fs.pendingN < native {
+	if fs.pendingN < p.native {
 		return
 	}
 	slot := fs.pendingI
@@ -270,7 +310,7 @@ func (p *Pipeline) closeSlot(fs *FlowSession) {
 	sr := fs.tracker.Push(slot)
 	fs.CurrentStage = sr
 	if sr.Stage != trace.StageLaunch {
-		fs.StageMinutes[sr.Stage] += vol.I.Minutes()
+		fs.StageMinutes[sr.Stage] += p.slotMin
 	}
 	if pr, ok := fs.tracker.Pattern(); ok {
 		fs.Pattern = pr
@@ -284,8 +324,8 @@ func (p *Pipeline) closeSlot(fs *FlowSession) {
 	} else if fs.PatternKnown {
 		demand = qoe.PatternDemand(fs.Pattern.Pattern)
 	}
-	mbps := slot.DownThroughputMbps(vol.I)
-	fps := estimateFrameRate(slot, vol.I)
+	mbps := slot.DownThroughputMbps(p.vol.I)
+	fps := estimateFrameRate(slot, p.vol.I)
 	if mbps > fs.peakMbps {
 		fs.peakMbps = mbps
 	}
@@ -295,31 +335,43 @@ func (p *Pipeline) closeSlot(fs *FlowSession) {
 	q := qoe.SlotQoS{
 		DownMbps:  mbps,
 		FrameRate: fps,
-		LagMs:     p.cfg.QoSLag.Seconds() * 1000,
+		LagMs:     p.lagMs,
 		LossRate:  p.cfg.QoSLoss,
 	}
-	fs.objective = append(fs.objective, qoe.Objective(q))
-	fs.effective = append(fs.effective, qoe.Effective(q, qoe.Context{
+	fs.objCounts[qoe.Objective(q)]++
+	fs.effCounts[qoe.Effective(q, qoe.Context{
 		Demand: demand, Stage: sr.Stage,
 		SettingsMbps: fs.peakMbps, SettingsFPS: fs.peakFPS,
-	}))
+	})]++
 }
 
 // estimateFrameRate derives a frame-rate estimate from the slot's packet
 // structure, after prior work [32]: video frames arrive as bursts of
 // MTU-sized packets, so the per-slot full-sized packet count divided by a
 // typical packets-per-frame ratio tracks the encoder's output rate.
+//
+// The mean payload size is computed once and shared by the packets-per-frame
+// ratio (continuous, no rounding: 1 + meanSize/500, so larger packets imply
+// bigger frames) and the small-payload rescale, which only ever scales the
+// estimate down (to zero for a payload-less slot). The final estimate is
+// capped at the slot's own packet rate — a frame needs at least one packet,
+// so a slot holding a single jumbo packet can never report more frames per
+// second than packets it actually contains — and at the 130 fps ceiling of
+// commercial cloud streaming.
 func estimateFrameRate(slot trace.Slot, i time.Duration) float64 {
 	if slot.DownPkts == 0 {
 		return 0
 	}
 	meanSize := slot.DownBytes / slot.DownPkts
-	pktsPerFrame := 1.0 + slot.DownBytes/slot.DownPkts/500 // larger packets, bigger frames
+	pktsPerFrame := 1.0 + meanSize/500 // larger packets, bigger frames
 	frames := slot.DownPkts / pktsPerFrame
 	fps := frames / i.Seconds()
 	// Small-payload lobby traffic encodes few real frames.
 	if meanSize < 400 {
 		fps *= meanSize / 400
+	}
+	if maxFPS := slot.DownPkts / i.Seconds(); fps > maxFPS {
+		fps = maxFPS
 	}
 	if fps > 130 {
 		fps = 130
@@ -335,8 +387,8 @@ func (fs *FlowSession) Report() *SessionReport {
 		Pattern:      fs.Pattern,
 		PatternKnown: fs.PatternKnown,
 		StageMinutes: fs.StageMinutes,
-		Objective:    qoe.SessionLevel(fs.objective),
-		Effective:    qoe.SessionLevel(fs.effective),
+		Objective:    qoe.SessionLevelFromCounts(fs.objCounts),
+		Effective:    qoe.SessionLevelFromCounts(fs.effCounts),
 	}
 	if fs.secs > 0 {
 		r.MeanDownMbps = float64(fs.bytesDown) * 8 / fs.secs / 1e6
@@ -348,9 +400,17 @@ func (fs *FlowSession) Report() *SessionReport {
 }
 
 // NumFlows returns the number of live gaming-flow sessions (created minus
-// evicted). It is O(1), for callers (like the sharded engine) that export
-// live counters.
+// evicted; zero after Finish frees them). It is O(1), for callers (like the
+// sharded engine) that export live counters.
 func (p *Pipeline) NumFlows() int { return len(p.flows) }
+
+// DetectorFlows returns how many flows the cloud-gaming packet filter
+// currently tracks — gaming, pending and rejected alike. Eviction and
+// Finish free a session's detector entry along with the session, and the
+// sweep expires pending/rejected flows at the same idle cutoff, so with a
+// FlowTTL this count is bounded by concurrently-live flows (pinned by
+// BenchmarkPipelineEviction's det_flows metric).
+func (p *Pipeline) DetectorFlows() int { return p.det.NumFlows() }
 
 // Sessions returns all live (not yet evicted) gaming-flow sessions, in
 // (start, key) order — the same total order the eviction sweep emits in,
@@ -377,12 +437,20 @@ func (p *Pipeline) Sessions() []*FlowSession {
 // expired and are not re-reported; with eviction disabled Finish returns
 // every session, the bounded-capture behavior. Call it once, at end of
 // input.
+//
+// Finish frees the per-flow state completely: the finalized sessions and
+// their detector entries are dropped, so a pipeline held after Finish
+// (e.g. for its counters) retains no per-flow memory.
 func (p *Pipeline) Finish() []*SessionReport {
 	var out []*SessionReport
 	for _, fs := range p.Sessions() {
 		r := p.finalize(fs, false)
 		p.lc.emit(r)
 		out = append(out, r)
+		delete(p.flows, fs.Flow.Key)
 	}
+	// Rejected and pending flows have no session to finalize; reset the
+	// whole filter table so nothing survives end of input.
+	p.det.Reset()
 	return out
 }

@@ -202,6 +202,74 @@ func netipAddr(a, b, c, d byte) netip.Addr {
 	return netip.AddrFrom4([4]byte{a, b, c, d})
 }
 
+// TestEstimateFrameRateBoundarySlots pins the estimator's degenerate
+// inputs: a slot of exactly one jumbo packet, payload-less packets, a
+// single tiny packet, and a sub-second slot width. The invariant under
+// test is that the estimate never exceeds the slot's own packet rate — a
+// frame needs at least one packet — and never goes negative.
+func TestEstimateFrameRateBoundarySlots(t *testing.T) {
+	cases := []struct {
+		name string
+		slot trace.Slot
+		i    time.Duration
+	}{
+		{"one jumbo packet, 1s", trace.Slot{DownPkts: 1, DownBytes: 1432}, time.Second},
+		{"one jumbo packet, 100ms", trace.Slot{DownPkts: 1, DownBytes: 1432}, 100 * time.Millisecond},
+		{"one tiny packet", trace.Slot{DownPkts: 1, DownBytes: 40}, time.Second},
+		{"payload-less packets", trace.Slot{DownPkts: 50, DownBytes: 0}, time.Second},
+		{"mean exactly 400", trace.Slot{DownPkts: 10, DownBytes: 4000}, time.Second},
+		{"mean just below 400", trace.Slot{DownPkts: 10, DownBytes: 3990}, time.Second},
+		{"flood caps at ceiling", trace.Slot{DownPkts: 1e6, DownBytes: 1e6 * 1200}, time.Second},
+	}
+	for _, c := range cases {
+		fps := estimateFrameRate(c.slot, c.i)
+		if fps < 0 {
+			t.Errorf("%s: negative fps %v", c.name, fps)
+		}
+		if maxFPS := c.slot.DownPkts / c.i.Seconds(); fps > maxFPS {
+			t.Errorf("%s: fps %.2f exceeds packet rate %.2f — more frames than packets", c.name, fps, maxFPS)
+		}
+		if fps > 130 {
+			t.Errorf("%s: fps %.2f above the 130 ceiling", c.name, fps)
+		}
+	}
+	if got := estimateFrameRate(trace.Slot{DownPkts: 50}, time.Second); got != 0 {
+		t.Errorf("payload-less slot fps = %v, want 0 (no video frames without bytes)", got)
+	}
+}
+
+// TestDecideTitleOutOfOrderLaunch keeps the sorted-fast-path honest: feed
+// normally appends launch packets in nondecreasing offset order, so
+// decideTitle skips its sort — but a multi-queue tap can hand one flow's
+// packets over out of order, and then the fallback sort must still produce
+// exactly the classification of the in-order launch.
+func TestDecideTitleOutOfOrderLaunch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	tm, sm := models(t)
+	p := New(Config{}, tm, sm)
+	s := gamesim.Generate(gamesim.Fortnite,
+		gamesim.ClientConfig{Resolution: gamesim.ResQHD, FPS: 60},
+		gamesim.LabNetwork(), 911, gamesim.Options{SessionLength: 3 * time.Minute})
+	want := tm.Classify(s.Launch)
+
+	inOrder := &FlowSession{launchBuf: append([]trace.Pkt(nil), s.Launch...)}
+	p.decideTitle(inOrder)
+	if inOrder.Title != want {
+		t.Fatalf("in-order launch classified %v, want %v", inOrder.Title, want)
+	}
+
+	shuffled := append([]trace.Pkt(nil), s.Launch...)
+	rng := rand.New(rand.NewSource(17))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	outOfOrder := &FlowSession{launchBuf: shuffled}
+	p.decideTitle(outOfOrder)
+	if outOfOrder.Title != want {
+		t.Fatalf("out-of-order launch classified %v, want %v (sort fallback broken)", outOfOrder.Title, want)
+	}
+}
+
 func TestEstimateFrameRate(t *testing.T) {
 	// A 60 fps QHD-class stream: ~2700 pkts/s at ~1250 B.
 	slot := trace.Slot{DownPkts: 2700, DownBytes: 2700 * 1250}

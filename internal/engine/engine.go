@@ -499,13 +499,25 @@ func (s *shard) adaptBatch(ts time.Time, budget time.Duration, max int) int64 {
 	return eff
 }
 
-// newBatch recycles a drained batch or allocates a fresh one.
+// batchBufSize is the payload-buffer capacity a fresh batch starts with:
+// one MTU-class frame (payload plus any IPv4/TCP options) per packet.
+// Recycled batches keep whatever larger capacity they grew to, so this
+// only bounds the allocation a brand-new batch pays once instead of
+// rediscovering it through append's doubling chain — which used to be the
+// single largest garbage source in the whole ingest path.
+const batchBufSize = 1536
+
+// newBatch recycles a drained batch or allocates a fresh, fully pre-sized
+// one.
 func (s *shard) newBatch(batchSize int) batch {
 	select {
 	case b := <-s.free:
 		return b
 	default:
-		return batch{pkts: make([]pkt, 0, batchSize)}
+		return batch{
+			pkts: make([]pkt, 0, batchSize),
+			buf:  make([]byte, 0, batchSize*batchBufSize),
+		}
 	}
 }
 

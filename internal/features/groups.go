@@ -66,8 +66,21 @@ type LabeledPkt struct {
 // non-full packet is steady when the majority of its nearest neighbours
 // (same slot) have payload sizes within ±V of its own (§4.2.1's
 // majority-voting rule); otherwise it is sparse. Input packets must be
-// sorted by time; upstream packets are ignored.
+// sorted by time; upstream packets are ignored. The result is freshly
+// allocated; the launch-attribute extractor goes through the pooled
+// in-place form instead.
 func LabelGroups(pkts []trace.Pkt, slotT time.Duration, cfg GroupConfig) []LabeledPkt {
+	var nonFull []int
+	return labelGroupsInto(nil, &nonFull, pkts, slotT, cfg)
+}
+
+// labelGroupsInto is LabelGroups appending into dst's backing array (from
+// dst[:0]) with a caller-owned neighbour-vote scratch, so a pooled caller
+// relabels launch windows without steady-state allocation. Because the
+// input is time-sorted, the slot partition is a walk over contiguous
+// ranges and the labeled output is exactly the downstream subsequence in
+// arrival order.
+func labelGroupsInto(dst []LabeledPkt, nonFull *[]int, pkts []trace.Pkt, slotT time.Duration, cfg GroupConfig) []LabeledPkt {
 	if cfg.MaxPayload <= 0 {
 		cfg.MaxPayload = 1432
 	}
@@ -77,33 +90,31 @@ func LabelGroups(pkts []trace.Pkt, slotT time.Duration, cfg GroupConfig) []Label
 	if cfg.Neighbors <= 0 {
 		cfg.Neighbors = 3
 	}
-	var out []LabeledPkt
-	// Partition into slots.
-	slotStart := 0
-	downs := make([]LabeledPkt, 0, len(pkts))
+	downs := dst[:0]
 	for _, p := range pkts {
 		if p.Dir != trace.Down {
 			continue
 		}
 		downs = append(downs, LabeledPkt{T: p.T, Size: p.Size})
 	}
+	slotStart := 0
 	for slotStart < len(downs) {
 		slotIdx := downs[slotStart].T / slotT
 		slotEnd := slotStart
 		for slotEnd < len(downs) && downs[slotEnd].T/slotT == slotIdx {
 			slotEnd++
 		}
-		labelSlot(downs[slotStart:slotEnd], cfg)
-		out = append(out, downs[slotStart:slotEnd]...)
+		labelSlot(downs[slotStart:slotEnd], nonFull, cfg)
 		slotStart = slotEnd
 	}
-	return out
+	return downs
 }
 
-// labelSlot assigns groups within one slot.
-func labelSlot(slot []LabeledPkt, cfg GroupConfig) {
+// labelSlot assigns groups within one slot. scratch holds the non-full
+// index list between calls.
+func labelSlot(slot []LabeledPkt, scratch *[]int, cfg GroupConfig) {
 	// Full packets first.
-	nonFull := make([]int, 0, len(slot))
+	nonFull := (*scratch)[:0]
 	for i := range slot {
 		if slot[i].Size >= cfg.MaxPayload {
 			slot[i].Group = GroupFull
@@ -111,6 +122,7 @@ func labelSlot(slot []LabeledPkt, cfg GroupConfig) {
 			nonFull = append(nonFull, i)
 		}
 	}
+	*scratch = nonFull
 	// Majority vote among the nearest non-full neighbours by arrival order.
 	for pos, i := range nonFull {
 		votes, agree := 0, 0

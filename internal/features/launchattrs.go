@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"gamelens/internal/trace"
@@ -42,30 +43,63 @@ func LaunchAttrNames() []string {
 // group, which is itself a signature (a launch segment without sparse
 // packets is informative).
 func LaunchAttributes(pkts []trace.Pkt, window, slotT time.Duration, cfg GroupConfig) []float64 {
-	labeled := LabelGroups(pkts, slotT, cfg)
+	return LaunchAttributesInto(make([]float64, NumLaunchAttrs), pkts, window, slotT, cfg)
+}
+
+// launchScratch is the reusable working state of one LaunchAttributes
+// computation: the labeled downstream packets, the per-slot per-group
+// buckets (slot-indexed — the launch window has a fixed, small slot count,
+// so a slice beats the map it replaced), and the per-group sample buffers.
+// Instances cycle through a package pool so concurrent classifiers (one
+// pipeline per engine shard) each borrow one without allocating per call.
+type launchScratch struct {
+	labeled     []LabeledPkt
+	nonFull     []int
+	bySlot      [][3][]LabeledPkt
+	sizes, iats []float64
+}
+
+var launchPool = sync.Pool{New: func() any { return new(launchScratch) }}
+
+// LaunchAttributesInto computes the 51-attribute vector into acc (length
+// NumLaunchAttrs, zeroed here) and returns acc. All intermediate bucketing
+// state comes from the package pool, so per-call garbage is limited to
+// slice growth the pool has not yet warmed to.
+func LaunchAttributesInto(acc []float64, pkts []trace.Pkt, window, slotT time.Duration, cfg GroupConfig) []float64 {
+	sc := launchPool.Get().(*launchScratch)
+	defer launchPool.Put(sc)
+	sc.labeled = labelGroupsInto(sc.labeled, &sc.nonFull, pkts, slotT, cfg)
 	nSlots := int((window + slotT - 1) / slotT)
 	if nSlots < 1 {
 		nSlots = 1
 	}
-	acc := make([]float64, NumLaunchAttrs)
+	for i := range acc {
+		acc[i] = 0
+	}
 
-	// Collect per-slot, per-group size and inter-arrival samples.
-	bySlot := make(map[int][3][]LabeledPkt, nSlots)
-	for _, p := range labeled {
+	// Collect per-slot, per-group size and inter-arrival samples into the
+	// slot-indexed buckets (every labeled packet with T < window lands in
+	// slot T/slotT < ceil(window/slotT) = nSlots).
+	if cap(sc.bySlot) < nSlots {
+		sc.bySlot = append(sc.bySlot[:cap(sc.bySlot)], make([][3][]LabeledPkt, nSlots-cap(sc.bySlot))...)
+	}
+	bySlot := sc.bySlot[:nSlots]
+	for s := range bySlot {
+		for gi := range bySlot[s] {
+			bySlot[s][gi] = bySlot[s][gi][:0]
+		}
+	}
+	for _, p := range sc.labeled {
 		if p.T >= window {
 			break
 		}
 		slot := int(p.T / slotT)
-		g := bySlot[slot]
-		g[p.Group] = append(g[p.Group], p)
-		bySlot[slot] = g
+		bySlot[slot][p.Group] = append(bySlot[slot][p.Group], p)
 	}
-	sizes := make([]float64, 0, 256)
-	iats := make([]float64, 0, 256)
+	sizes, iats := sc.sizes, sc.iats
 	for slot := 0; slot < nSlots; slot++ {
-		groups := bySlot[slot]
 		for gi := 0; gi < 3; gi++ {
-			ps := groups[gi]
+			ps := bySlot[slot][gi]
 			base := gi * 17
 			if len(ps) == 0 {
 				continue // zero contribution
@@ -83,6 +117,7 @@ func LaunchAttributes(pkts []trace.Pkt, window, slotT time.Duration, cfg GroupCo
 			writeStats(acc[base+9:base+17], iats)
 		}
 	}
+	sc.sizes, sc.iats = sizes, iats
 	inv := 1 / float64(nSlots)
 	for i := range acc {
 		acc[i] *= inv

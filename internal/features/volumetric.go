@@ -44,6 +44,9 @@ type StageFeatureExtractor struct {
 	cfg   VolumetricConfig
 	peaks [NumStageAttrs]float64
 	ema   [NumStageAttrs]float64
+	// out is the scratch vector Push returns a view of; owning it makes
+	// the per-slot hot path allocation-free.
+	out   [NumStageAttrs]float64
 	begun bool
 }
 
@@ -69,7 +72,10 @@ func rawAttrs(s trace.Slot) [NumStageAttrs]float64 {
 }
 
 // Push consumes one I-wide slot and returns its feature vector. The
-// returned slice is freshly allocated.
+// returned slice is a borrow of extractor-owned scratch: it is overwritten
+// by the next Push, so callers that keep a vector across slots must copy it
+// (the batch helpers here do). In exchange, Push allocates nothing — the
+// steady-state guarantee the pipeline's per-slot path is built on.
 func (e *StageFeatureExtractor) Push(slot trace.Slot) []float64 {
 	raw := rawAttrs(slot)
 	// Seed peaks from the first slot; grow them whenever exceeded.
@@ -78,7 +84,6 @@ func (e *StageFeatureExtractor) Push(slot trace.Slot) []float64 {
 			e.peaks[i] = v
 		}
 	}
-	out := make([]float64, NumStageAttrs)
 	for i, v := range raw {
 		rel := 0.0
 		if e.peaks[i] > 0 {
@@ -89,10 +94,10 @@ func (e *StageFeatureExtractor) Push(slot trace.Slot) []float64 {
 		} else {
 			e.ema[i] = e.cfg.Alpha*rel + (1-e.cfg.Alpha)*e.ema[i]
 		}
-		out[i] = e.ema[i]
+		e.out[i] = e.ema[i]
 	}
 	e.begun = true
-	return out
+	return e.out[:]
 }
 
 // ExtractStageFeatures is the batch form: it rebins native slots to width I,
@@ -110,7 +115,8 @@ func ExtractStageFeatures(slots []trace.Slot, launchEnd time.Duration, cfg Volum
 		if i < launchSlots || s.Stage == trace.StageLaunch {
 			continue
 		}
-		X = append(X, v)
+		// Push returns a borrowed scratch view; the dataset keeps the row.
+		X = append(X, append([]float64(nil), v...))
 		stages = append(stages, s.Stage)
 	}
 	return X, stages
@@ -174,16 +180,25 @@ func (m *TransitionMatrix) Total() float64 { return m.total }
 // across all cells — the attribute vector of the gameplay-activity-pattern
 // classifier (§4.3.2).
 func (m *TransitionMatrix) Probabilities() []float64 {
-	out := make([]float64, 9)
+	return m.ProbabilitiesInto(make([]float64, 9))
+}
+
+// ProbabilitiesInto writes the 9 normalized transition probabilities into
+// dst (length 9) and returns dst, allocating nothing — the form the online
+// tracker calls once per slot.
+func (m *TransitionMatrix) ProbabilitiesInto(dst []float64) []float64 {
 	if m.total == 0 {
-		return out
+		for k := range dst {
+			dst[k] = 0
+		}
+		return dst
 	}
 	k := 0
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
-			out[k] = m.counts[i][j] / m.total
+			dst[k] = m.counts[i][j] / m.total
 			k++
 		}
 	}
-	return out
+	return dst
 }

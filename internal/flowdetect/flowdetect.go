@@ -268,6 +268,22 @@ func (d *Detector) GamingFlows() []*Flow {
 	return out
 }
 
+// Remove drops the tracked flow for a (possibly non-canonical) key, if any.
+// The pipeline calls it as it finalizes a gaming session — eviction or
+// Finish — so the detector entry is freed with the session rather than
+// waiting out the idle cutoff.
+func (d *Detector) Remove(key packet.FlowKey) {
+	delete(d.flows, key.Canonical())
+}
+
+// Reset drops every tracked flow — gaming, pending and rejected alike.
+// The pipeline calls it from Finish: rejected flows are never removed
+// individually (nothing references them back), so only a full reset makes
+// end-of-input actually free the whole filter table.
+func (d *Detector) Reset() {
+	d.flows = make(map[packet.FlowKey]*Flow)
+}
+
 // Expire drops flows idle since before cutoff and returns how many were
 // removed; long-running monitors call this periodically.
 func (d *Detector) Expire(cutoff time.Time) int {

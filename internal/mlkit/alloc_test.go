@@ -1,0 +1,99 @@
+package mlkit
+
+import (
+	"math"
+	"testing"
+
+	"gamelens/internal/race"
+)
+
+// intoModels trains one of each classifier on the same small blob set.
+func intoModels(t *testing.T) (*Dataset, []Classifier) {
+	t.Helper()
+	d := blobs(3, 6, 40, 1.2, 99)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 15, MaxDepth: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := FitTree(d, TreeConfig{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knn, err := FitKNN(d, KNNConfig{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm, err := FitSVM(d, SVMConfig{Epochs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler := FitScaler(d)
+	scaled := &ScaledClassifier{Scaler: scaler, Model: forest}
+	return d, []Classifier{forest, tree, knn, svm, scaled}
+}
+
+// TestPredictProbaIntoMatches pins the wrapper contract: for every model in
+// the kit, PredictProbaInto fills dst with exactly what PredictProba
+// returns and hands dst back.
+func TestPredictProbaIntoMatches(t *testing.T) {
+	d, models := intoModels(t)
+	for _, m := range models {
+		dst := make([]float64, m.NumClasses())
+		for i := 0; i < d.NumSamples(); i += 7 {
+			want := m.PredictProba(d.X[i])
+			got := m.PredictProbaInto(d.X[i], dst)
+			if &got[0] != &dst[0] {
+				t.Fatalf("%T: PredictProbaInto did not return dst", m)
+			}
+			for c := range want {
+				if math.Abs(want[c]-got[c]) > 1e-15 {
+					t.Fatalf("%T sample %d: Into %v != Proba %v", m, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestForestPredictProbaIntoAllocs pins the steady-state guarantee: the
+// forest's vote accumulation materializes no per-tree distributions and no
+// result slice — zero allocations per prediction.
+func TestForestPredictProbaIntoAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are only pinned in the plain build")
+	}
+	d, _ := intoModels(t)
+	forest, err := FitForest(d, ForestConfig{NumTrees: 25, MaxDepth: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, forest.NumClasses())
+	x := d.X[1]
+	if n := testing.AllocsPerRun(200, func() { forest.PredictProbaInto(x, dst) }); n != 0 {
+		t.Fatalf("Forest.PredictProbaInto allocates %.1f/op, want 0", n)
+	}
+	// The flattened tree walk is allocation-free too.
+	tr := forest.Trees[0]
+	if n := testing.AllocsPerRun(200, func() { tr.PredictProbaInto(x, dst) }); n != 0 {
+		t.Fatalf("Tree.PredictProbaInto allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestTreePredictProbaAliasing documents the sharing contract: the slice
+// PredictProba returns aliases the tree's contiguous backing storage, so
+// two leaves' rows live in the same array and the caller must treat the
+// view as read-only.
+func TestTreePredictProbaAliasing(t *testing.T) {
+	d := blobs(2, 3, 30, 1, 4)
+	tr, err := FitTree(d, TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := tr.PredictProba(d.X[0])
+	p2 := tr.PredictProba(d.X[0])
+	if &p1[0] != &p2[0] {
+		t.Error("same leaf should return the same backing row")
+	}
+	if len(p1) != tr.NumClasses() {
+		t.Errorf("leaf row has %d classes, want %d", len(p1), tr.NumClasses())
+	}
+}

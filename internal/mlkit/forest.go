@@ -113,13 +113,26 @@ func FitForest(d *Dataset, cfg ForestConfig) (*Forest, error) {
 }
 
 // padClasses widens leaf distributions to nc classes (missing classes get
-// probability zero). Used when a bootstrap sample missed some classes.
+// probability zero) by restriding the tree's contiguous dists array. Used
+// when a bootstrap sample missed some classes.
 func (t *Tree) padClasses(nc int) {
+	if nc <= t.numClasses {
+		// Nothing to widen; narrowing is not supported (it would change
+		// the dists stride), so leave the tree untouched.
+		return
+	}
+	old := t.dists
+	t.dists = make([]float64, 0, len(old)/t.numClasses*nc)
 	for i := range t.nodes {
-		if t.nodes[i].Feature < 0 && len(t.nodes[i].Dist) < nc {
-			d := make([]float64, nc)
-			copy(d, t.nodes[i].Dist)
-			t.nodes[i].Dist = d
+		n := &t.nodes[i]
+		if n.Feature >= 0 {
+			continue
+		}
+		row := old[n.dist : int(n.dist)+t.numClasses]
+		n.dist = int32(len(t.dists))
+		t.dists = append(t.dists, row...)
+		for pad := t.numClasses; pad < nc; pad++ {
+			t.dists = append(t.dists, 0)
 		}
 	}
 	t.numClasses = nc
@@ -127,23 +140,38 @@ func (t *Tree) padClasses(nc int) {
 
 // Predict returns the soft-vote majority class.
 func (f *Forest) Predict(x []float64) int {
+	var probs [16]float64
+	if f.numClasses <= len(probs) {
+		return argmax(f.PredictProbaInto(x, probs[:f.numClasses]))
+	}
 	return argmax(f.PredictProba(x))
 }
 
 // PredictProba returns the mean leaf distribution across trees. The maximum
 // entry is the label confidence used for "unknown" thresholding in §4.4.1.
 func (f *Forest) PredictProba(x []float64) []float64 {
-	probs := make([]float64, f.numClasses)
+	return f.PredictProbaInto(x, make([]float64, f.numClasses))
+}
+
+// PredictProbaInto accumulates the soft vote directly into dst (length
+// NumClasses) and returns dst. No per-tree distribution is materialized:
+// each tree's leaf row is summed out of its contiguous backing array, so
+// the steady-state prediction path allocates nothing.
+func (f *Forest) PredictProbaInto(x, dst []float64) []float64 {
+	for c := range dst {
+		dst[c] = 0
+	}
 	for _, t := range f.Trees {
-		for c, p := range t.PredictProba(x) {
-			probs[c] += p
+		leaf := t.leafDist(t.leafFor(x))
+		for c, p := range leaf {
+			dst[c] += p
 		}
 	}
 	inv := 1 / float64(len(f.Trees))
-	for c := range probs {
-		probs[c] *= inv
+	for c := range dst {
+		dst[c] *= inv
 	}
-	return probs
+	return dst
 }
 
 // NumClasses returns the number of classes.

@@ -101,6 +101,16 @@ func (k *KNN) Predict(x []float64) int {
 
 // PredictProba returns normalized neighbour votes per class.
 func (k *KNN) PredictProba(x []float64) []float64 {
+	return k.PredictProbaInto(x, make([]float64, k.numClasses))
+}
+
+// PredictProbaInto writes the normalized neighbour votes into dst (length
+// NumClasses) and returns dst. The brute-force neighbour table is still
+// built per call — KNN keeps its training set and cannot vote without
+// ranking it — so unlike the ensemble models this path is not
+// allocation-free; it exists so callers can treat every Classifier
+// uniformly.
+func (k *KNN) PredictProbaInto(x, dst []float64) []float64 {
 	type nb struct {
 		d float64
 		y int
@@ -110,7 +120,10 @@ func (k *KNN) PredictProba(x []float64) []float64 {
 		nbs[i] = nb{k.distance(x, row), k.y[i]}
 	}
 	sort.Slice(nbs, func(i, j int) bool { return nbs[i].d < nbs[j].d })
-	votes := make([]float64, k.numClasses)
+	votes := dst
+	for c := range votes {
+		votes[c] = 0
+	}
 	var total float64
 	for i := 0; i < k.cfg.K; i++ {
 		w := 1.0

@@ -33,11 +33,16 @@ func SaveForest(w io.Writer, f *Forest) error {
 	out := forestJSON{Format: forestFormat, NumClasses: f.numClasses}
 	for _, t := range f.Trees {
 		tj := treeJSON{Nodes: make([]nodeJSON, len(t.nodes))}
-		for i, n := range t.nodes {
-			tj.Nodes[i] = nodeJSON{
-				Feature: n.Feature, Threshold: n.Threshold,
-				Left: n.Left, Right: n.Right, Dist: n.Dist,
+		for i := range t.nodes {
+			n := &t.nodes[i]
+			nj := nodeJSON{
+				Feature: int(n.Feature), Threshold: n.Threshold,
+				Left: int(n.Left), Right: int(n.Right),
 			}
+			if n.Feature < 0 {
+				nj.Dist = t.leafDist(n)
+			}
+			tj.Nodes[i] = nj
 		}
 		out.Trees = append(out.Trees, tj)
 	}
@@ -70,10 +75,23 @@ func LoadForest(r io.Reader) (*Forest, error) {
 			if n.Left >= len(tj.Nodes) || n.Right >= len(tj.Nodes) {
 				return nil, fmt.Errorf("mlkit: tree %d node %d: child out of range", ti, i)
 			}
-			t.nodes[i] = treeNode{
-				Feature: n.Feature, Threshold: n.Threshold,
-				Left: n.Left, Right: n.Right, Dist: n.Dist,
+			node := treeNode{
+				Feature: int32(n.Feature), Threshold: n.Threshold,
+				Left: int32(n.Left), Right: int32(n.Right),
 			}
+			if n.Feature < 0 {
+				if len(n.Dist) > in.NumClasses {
+					return nil, fmt.Errorf("mlkit: tree %d node %d: %d-class leaf in %d-class forest", ti, i, len(n.Dist), in.NumClasses)
+				}
+				// Flatten into the tree's contiguous backing array, padding
+				// short rows (models saved before class padding) with zeros.
+				node.dist = int32(len(t.dists))
+				t.dists = append(t.dists, n.Dist...)
+				for pad := len(n.Dist); pad < in.NumClasses; pad++ {
+					t.dists = append(t.dists, 0)
+				}
+			}
+			t.nodes[i] = node
 		}
 		f.Trees = append(f.Trees, t)
 	}

@@ -84,5 +84,12 @@ func (s *ScaledClassifier) PredictProba(x []float64) []float64 {
 	return s.Model.PredictProba(s.Scaler.Transform(x))
 }
 
+// PredictProbaInto standardizes x and delegates to the wrapped model. The
+// standardized copy of x is still allocated per call (the scaler does not
+// own scratch; it may be shared across goroutines).
+func (s *ScaledClassifier) PredictProbaInto(x, dst []float64) []float64 {
+	return s.Model.PredictProbaInto(s.Scaler.Transform(x), dst)
+}
+
 // NumClasses returns the wrapped model's class count.
 func (s *ScaledClassifier) NumClasses() int { return s.Model.NumClasses() }

@@ -206,7 +206,11 @@ func (s *SVM) rbf(a, b []float64) float64 {
 
 // decision returns the per-class decision values for x.
 func (s *SVM) decision(x []float64) []float64 {
-	out := make([]float64, s.numClasses)
+	return s.decisionInto(x, make([]float64, s.numClasses))
+}
+
+// decisionInto writes the per-class decision values for x into out.
+func (s *SVM) decisionInto(x, out []float64) []float64 {
 	switch s.cfg.Kernel {
 	case LinearKernel:
 		for c := range out {
@@ -234,7 +238,13 @@ func (s *SVM) Predict(x []float64) int {
 // PredictProba squashes decision values through a softmax; the result is a
 // confidence proxy, not a calibrated probability.
 func (s *SVM) PredictProba(x []float64) []float64 {
-	dec := s.decision(x)
+	return s.PredictProbaInto(x, make([]float64, s.numClasses))
+}
+
+// PredictProbaInto computes the softmax-squashed decision values in place
+// in dst (length NumClasses) and returns dst, allocating nothing.
+func (s *SVM) PredictProbaInto(x, dst []float64) []float64 {
+	dec := s.decisionInto(x, dst)
 	maxV := dec[argmax(dec)]
 	var sum float64
 	for i, v := range dec {

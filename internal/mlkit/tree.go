@@ -10,9 +10,18 @@ import (
 // Classifier is the interface shared by every model in the kit. Predict
 // returns the most likely class of x; PredictProba returns a probability
 // (or probability-like confidence) per class summing to 1.
+//
+// PredictProbaInto is the steady-state form: it writes the distribution
+// into dst (which must have length NumClasses) and returns dst, so a hot
+// loop can classify millions of vectors without producing garbage. The
+// ensemble models (Tree, Forest, SVM) allocate nothing inside it; KNN still
+// builds its neighbour table per call (brute force retains that cost
+// regardless of the output buffer). PredictProba remains the convenience
+// wrapper that allocates the result.
 type Classifier interface {
 	Predict(x []float64) int
 	PredictProba(x []float64) []float64
+	PredictProbaInto(x, dst []float64) []float64
 	NumClasses() int
 }
 
@@ -30,21 +39,34 @@ type TreeConfig struct {
 	Seed int64
 }
 
+// treeNode is one flattened tree node. Nodes carry no per-node slices: leaf
+// class distributions live side by side in the tree's contiguous dists
+// array (numClasses floats per leaf), so a whole tree is two allocations
+// and a prediction walk touches cache-dense storage.
 type treeNode struct {
 	// Feature is the split feature index, or -1 for a leaf.
-	Feature   int
-	Threshold float64
+	Feature int32
 	// Left and Right index into Tree.nodes. Samples with
 	// x[Feature] <= Threshold go left.
-	Left, Right int
-	// Dist is the class distribution at the node (leaves only).
-	Dist []float64
+	Left, Right int32
+	// dist is the leaf's row offset into Tree.dists (leaves only).
+	dist int32
+	// Threshold is the split value.
+	Threshold float64
 }
 
 // Tree is a CART decision-tree classifier with Gini impurity splits.
 type Tree struct {
-	nodes      []treeNode
+	nodes []treeNode
+	// dists is the backing array of leaf class distributions: each leaf
+	// owns the numClasses-wide row starting at its node's dist offset.
+	dists      []float64
 	numClasses int
+}
+
+// leafDist returns the class distribution row of a leaf node.
+func (t *Tree) leafDist(n *treeNode) []float64 {
+	return t.dists[n.dist : int(n.dist)+t.numClasses : int(n.dist)+t.numClasses]
 }
 
 // FitTree trains a CART tree on d.
@@ -133,19 +155,20 @@ func (b *treeBuilder) build(idx []int, depth int) int {
 	if lo == 0 || lo == len(idx) {
 		return b.leaf(dist, len(idx))
 	}
-	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: feat, Threshold: thr})
+	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: int32(feat), Threshold: thr})
 	left := b.build(idx[:lo], depth+1)
 	right := b.build(idx[lo:], depth+1)
-	b.tree.nodes[nodeID].Left = left
-	b.tree.nodes[nodeID].Right = right
+	b.tree.nodes[nodeID].Left = int32(left)
+	b.tree.nodes[nodeID].Right = int32(right)
 	return nodeID
 }
 
 func (b *treeBuilder) leaf(dist []float64, n int) int {
-	for i := range dist {
-		dist[i] /= float64(n)
+	off := int32(len(b.tree.dists))
+	for _, c := range dist {
+		b.tree.dists = append(b.tree.dists, c/float64(n))
 	}
-	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: -1, Dist: dist})
+	b.tree.nodes = append(b.tree.nodes, treeNode{Feature: -1, dist: off})
 	return len(b.tree.nodes) - 1
 }
 
@@ -229,16 +252,16 @@ func giniPartialRight(total, left []float64, n float64) float64 {
 
 // Predict returns the majority class of the leaf x falls into.
 func (t *Tree) Predict(x []float64) int {
-	return argmax(t.PredictProba(x))
+	return argmax(t.leafDist(t.leafFor(x)))
 }
 
-// PredictProba returns the class distribution of the leaf x falls into.
-func (t *Tree) PredictProba(x []float64) []float64 {
-	i := 0
+// leafFor walks x to its leaf node. The walk allocates nothing.
+func (t *Tree) leafFor(x []float64) *treeNode {
+	i := int32(0)
 	for {
 		n := &t.nodes[i]
 		if n.Feature < 0 {
-			return n.Dist
+			return n
 		}
 		if x[n.Feature] <= n.Threshold {
 			i = n.Left
@@ -246,6 +269,20 @@ func (t *Tree) PredictProba(x []float64) []float64 {
 			i = n.Right
 		}
 	}
+}
+
+// PredictProba returns the class distribution of the leaf x falls into. The
+// returned slice aliases the tree's backing storage: it is shared,
+// read-only, and valid for the life of the tree.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	return t.leafDist(t.leafFor(x))
+}
+
+// PredictProbaInto copies the leaf distribution of x into dst (length
+// NumClasses) and returns dst, allocating nothing.
+func (t *Tree) PredictProbaInto(x, dst []float64) []float64 {
+	copy(dst, t.leafDist(t.leafFor(x)))
+	return dst
 }
 
 // NumClasses returns the number of classes the tree was trained with.
@@ -259,8 +296,8 @@ func (t *Tree) Depth() int {
 	if len(t.nodes) == 0 {
 		return 0
 	}
-	var walk func(i int) int
-	walk = func(i int) int {
+	var walk func(i int32) int
+	walk = func(i int32) int {
 		n := &t.nodes[i]
 		if n.Feature < 0 {
 			return 0

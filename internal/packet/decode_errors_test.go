@@ -1,0 +1,133 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"testing"
+)
+
+// frame6 builds an Ethernet/IPv6/UDP frame.
+func frame6(payload []byte) []byte {
+	u := UDP{SrcPort: 49003, DstPort: 5004}
+	src, dst := netip.MustParseAddr("2001:db8::10"), netip.MustParseAddr("2001:db8::20")
+	trans := u.AppendTo(nil, payload, src, dst)
+	ip := IPv6{NextHeader: ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	eth := Ethernet{Dst: MAC{0xaa, 1, 2, 3, 4, 5}, Src: MAC{0xbb, 6, 7, 8, 9, 10}, Type: EtherTypeIPv6}
+	return ip.AppendTo(eth.AppendTo(nil), trans)
+}
+
+// TestDecodeNonIPEthertype pins the tolerant path: an ARP (or any non-IP)
+// frame decodes without error, exposes the raw payload, and yields a zero
+// flow key rather than garbage addressing.
+func TestDecodeNonIPEthertype(t *testing.T) {
+	eth := Ethernet{Dst: MAC{1}, Src: MAC{2}, Type: EtherTypeARP}
+	body := []byte{0, 1, 8, 0, 6, 4, 0, 1} // ARP-ish bytes, opaque to us
+	b := append(eth.AppendTo(nil), body...)
+	var d Decoded
+	if err := Decode(b, &d); err != nil {
+		t.Fatalf("Decode(ARP): %v", err)
+	}
+	if !d.HasEth || d.HasIP4 || d.HasIP6 || d.HasUDP || d.HasTCP {
+		t.Fatalf("layer flags wrong: %+v", d)
+	}
+	if string(d.Payload) != string(body) {
+		t.Errorf("payload = %x, want %x", d.Payload, body)
+	}
+	if !d.Flow().IsZero() {
+		t.Errorf("Flow() = %v, want zero key without an IP layer", d.Flow())
+	}
+	if d.SrcAddr().IsValid() || d.DstAddr().IsValid() || d.SrcPort() != 0 || d.DstPort() != 0 || d.Proto() != 0 {
+		t.Error("address/port accessors must be zero without IP/transport layers")
+	}
+}
+
+// TestDecodeTruncatedIPv6 walks an IPv6/UDP frame through every truncation
+// boundary: inside the Ethernet header, inside the fixed IPv6 header, and
+// inside the UDP header.
+func TestDecodeTruncatedIPv6(t *testing.T) {
+	b := frame6([]byte("v6 gaming payload"))
+	for _, n := range []int{
+		EthernetHeaderLen - 2,                 // mid-Ethernet
+		EthernetHeaderLen + 7,                 // mid-IPv6 fixed header
+		EthernetHeaderLen + IPv6HeaderLen - 1, // one byte short of the v6 header
+		EthernetHeaderLen + IPv6HeaderLen + 3, // mid-UDP header
+	} {
+		var d Decoded
+		if err := Decode(b[:n], &d); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Decode(%d bytes) err = %v, want ErrTruncated", n, err)
+		}
+	}
+	var d Decoded
+	if err := Decode(b, &d); err != nil || !d.HasIP6 || !d.HasUDP {
+		t.Fatalf("full v6 frame: err=%v flags=%+v", err, d)
+	}
+	if d.Flow().Proto != ProtoUDP || !d.SrcAddr().Is6() {
+		t.Errorf("v6 flow key wrong: %v", d.Flow())
+	}
+}
+
+// TestDecodeBadIPv6Version pins the version check on the v6 path.
+func TestDecodeBadIPv6Version(t *testing.T) {
+	b := frame6([]byte("x"))
+	b[EthernetHeaderLen] = 0x40 // claims version 4 inside an IPv6 ethertype
+	var d Decoded
+	if err := Decode(b, &d); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestDecodeBadUDPLength pins the UDP length sanity check: a length field
+// smaller than the header itself is inconsistent, not merely truncated.
+func TestDecodeBadUDPLength(t *testing.T) {
+	b := frame([]byte("payload"), ProtoUDP)
+	lenOff := EthernetHeaderLen + IPv4HeaderLen + 4
+	binary.BigEndian.PutUint16(b[lenOff:lenOff+2], UDPHeaderLen-1)
+	var d Decoded
+	if err := Decode(b, &d); !errors.Is(err, ErrBadLength) {
+		t.Errorf("err = %v, want ErrBadLength", err)
+	}
+}
+
+// TestDecodeBadIPv4Lengths pins the IPv4 header-length sanity checks: an
+// IHL below the minimum header and a total length shorter than the IHL.
+func TestDecodeBadIPv4Lengths(t *testing.T) {
+	b := frame([]byte("payload"), ProtoUDP)
+	b[EthernetHeaderLen] = 0x43 // version 4, ihl 3 words (12 bytes < 20)
+	var d Decoded
+	if err := Decode(b, &d); !errors.Is(err, ErrBadLength) {
+		t.Errorf("short ihl err = %v, want ErrBadLength", err)
+	}
+
+	b = frame([]byte("payload"), ProtoUDP)
+	tlOff := EthernetHeaderLen + 2
+	binary.BigEndian.PutUint16(b[tlOff:tlOff+2], IPv4HeaderLen-4)
+	if err := Decode(b, &d); !errors.Is(err, ErrBadLength) {
+		t.Errorf("total length < ihl err = %v, want ErrBadLength", err)
+	}
+}
+
+// TestFlowKeyCanonicalSwapSymmetry pins Canonical's direction independence
+// on explicit boundary keys — swapped src/dst over IPv4 and IPv6, equal
+// addresses with swapped ports, and fully equal endpoints — complementing
+// the randomized property test.
+func TestFlowKeyCanonicalSwapSymmetry(t *testing.T) {
+	v6a, v6b := netip.MustParseAddr("2001:db8::1"), netip.MustParseAddr("2001:db8::2")
+	cases := []FlowKey{
+		{Src: addr4(10, 0, 0, 2), Dst: addr4(203, 0, 113, 9), SrcPort: 49003, DstPort: 5004, Proto: ProtoUDP},
+		{Src: v6a, Dst: v6b, SrcPort: 9295, DstPort: 60000, Proto: ProtoUDP},
+		// Same address both sides: ports alone decide the canonical order.
+		{Src: addr4(10, 1, 1, 1), Dst: addr4(10, 1, 1, 1), SrcPort: 9999, DstPort: 1111, Proto: ProtoUDP},
+		// Fully symmetric endpoints: Canonical must still be stable.
+		{Src: addr4(10, 1, 1, 1), Dst: addr4(10, 1, 1, 1), SrcPort: 7777, DstPort: 7777, Proto: ProtoTCP},
+	}
+	for _, k := range cases {
+		swapped := FlowKey{Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+		if k.Canonical() != swapped.Canonical() {
+			t.Errorf("key %v: canonical %v != swapped canonical %v", k, k.Canonical(), swapped.Canonical())
+		}
+		if c := k.Canonical(); c.Canonical() != c {
+			t.Errorf("key %v: Canonical not idempotent", k)
+		}
+	}
+}

@@ -161,12 +161,21 @@ func Effective(q SlotQoS, ctx Context) Level {
 // SessionLevel reduces per-slot levels to the session's overall grade: the
 // majority label, as the paper reports per-session QoE (§5.3).
 func SessionLevel(levels []Level) Level {
-	var counts [NumLevels]int
+	var counts [NumLevels]int64
 	for _, l := range levels {
 		if int(l) < NumLevels {
 			counts[l]++
 		}
 	}
+	return SessionLevelFromCounts(counts)
+}
+
+// SessionLevelFromCounts is SessionLevel over an already-accumulated
+// per-level histogram — the fixed-size form the pipeline keeps per flow so
+// a session of any length grades in O(1) memory. Ties resolve exactly as
+// SessionLevel always has: Good seeds the scan and another level must
+// strictly outnumber the running winner to displace it.
+func SessionLevelFromCounts(counts [NumLevels]int64) Level {
 	best := Good
 	for l := Level(0); int(l) < NumLevels; l++ {
 		if counts[l] > counts[best] {

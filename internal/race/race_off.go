@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package race reports whether the binary was built with the race
+// detector; see race_on.go.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

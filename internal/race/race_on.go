@@ -1,0 +1,12 @@
+//go:build race
+
+// Package race reports whether the binary was built with the race
+// detector. The allocation-count gates (testing.AllocsPerRun pins at 0
+// allocs steady-state) skip under -race: the detector instruments and
+// allocates on paths the production build does not, so the pins are only
+// meaningful — and only load-bearing — in the plain build that `make
+// check`'s allocgate target runs.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

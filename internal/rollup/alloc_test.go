@@ -1,0 +1,39 @@
+package rollup
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"gamelens/internal/race"
+)
+
+// TestRollupObserveAllocs pins the report-stream hot path at zero
+// allocations in steady state: a warm subscriber's window bucket absorbs an
+// entry by pure addition. (Cold paths still allocate — a new subscriber's
+// ring, a rotated bucket's title map — but those are per-subscriber and
+// per-bucket-width events, not per-report.)
+func TestRollupObserveAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are only pinned in the plain build")
+	}
+	r := New(Config{Window: time.Hour, Buckets: 12})
+	e := Entry{
+		Subscriber:   netip.AddrFrom4([4]byte{10, 9, 8, 7}),
+		End:          time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
+		Title:        "Fortnite",
+		MeanDownMbps: 14,
+	}
+	e.StageMinutes[2] = 3.5
+	r.Observe(e) // warm: subscriber ring, bucket, title map entry
+	if n := testing.AllocsPerRun(500, func() { r.Observe(e) }); n != 0 {
+		t.Fatalf("Rollup.Observe allocates %.1f/op, want 0", n)
+	}
+	// The pattern-keyed (unknown title) path is equally warm.
+	p := e
+	p.Title, p.Pattern = "", "continuous-play"
+	r.Observe(p)
+	if n := testing.AllocsPerRun(500, func() { r.Observe(p) }); n != 0 {
+		t.Fatalf("Rollup.Observe (pattern path) allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,117 @@
+package stageclass
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gamelens/internal/features"
+	"gamelens/internal/mlkit"
+	"gamelens/internal/race"
+	"gamelens/internal/trace"
+)
+
+// tinyClassifier builds a Classifier from directly-fitted micro forests —
+// enough model to drive the tracker's full inference path (stage prediction,
+// transition matrix, pattern inference) without the cost of Train.
+func tinyClassifier(t *testing.T) *Classifier {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	sd := &mlkit.Dataset{ClassNames: StageClassNames()}
+	for i := 0; i < 90; i++ {
+		c := i % 3
+		row := make([]float64, features.NumStageAttrs)
+		for j := range row {
+			row[j] = float64(c)/3 + rng.Float64()*0.15
+		}
+		sd.Append(row, c)
+	}
+	stage, err := mlkit.FitForest(sd, mlkit.ForestConfig{NumTrees: 10, MaxDepth: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd := &mlkit.Dataset{ClassNames: PatternClassNames()}
+	for i := 0; i < 60; i++ {
+		c := i % 2
+		row := make([]float64, 9)
+		for j := range row {
+			row[j] = float64((c*9+j)%4)/4 + rng.Float64()*0.1
+		}
+		pd.Append(row, c)
+	}
+	pattern, err := mlkit.FitForest(pd, mlkit.ForestConfig{NumTrees: 10, MaxDepth: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromModels(stage, pattern, Config{
+		MinTransitions:   10,
+		PatternStability: 5,
+		Seed:             9,
+	})
+}
+
+// TestTrackerPushAllocs pins the pipeline's per-slot hot path at zero
+// allocations: feature extraction, stage prediction, transition accounting
+// and pattern inference all run in tracker-owned scratch.
+func TestTrackerPushAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are only pinned in the plain build")
+	}
+	c := tinyClassifier(t)
+	tr := c.NewTracker(2 * time.Second)
+	slots := make([]trace.Slot, 64)
+	rng := rand.New(rand.NewSource(7))
+	for i := range slots {
+		slots[i] = trace.Slot{
+			DownBytes: 1e5 + rng.Float64()*6e5,
+			DownPkts:  100 + rng.Float64()*500,
+			UpBytes:   1e4 + rng.Float64()*2e4,
+			UpPkts:    30 + rng.Float64()*80,
+		}
+	}
+	// Warm past launch suppression and MinTransitions so AllocsPerRun
+	// exercises the full path, pattern inference included.
+	for i := 0; i < 40; i++ {
+		tr.Push(slots[i%len(slots)])
+	}
+	i := 0
+	if n := testing.AllocsPerRun(400, func() {
+		tr.Push(slots[i%len(slots)])
+		i++
+	}); n != 0 {
+		t.Fatalf("Tracker.Push allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestTrackerScratchIndependence pins that two trackers sharing one
+// classifier do not share inference scratch: interleaved pushes classify
+// exactly as back-to-back replays do.
+func TestTrackerScratchIndependence(t *testing.T) {
+	c := tinyClassifier(t)
+	rng := rand.New(rand.NewSource(13))
+	slotsA := make([]trace.Slot, 50)
+	slotsB := make([]trace.Slot, 50)
+	for i := range slotsA {
+		slotsA[i] = trace.Slot{DownBytes: rng.Float64() * 7e5, DownPkts: rng.Float64() * 600}
+		slotsB[i] = trace.Slot{DownBytes: rng.Float64() * 2e5, DownPkts: rng.Float64() * 200,
+			UpBytes: rng.Float64() * 3e4, UpPkts: rng.Float64() * 90}
+	}
+	replay := func(slots []trace.Slot) []StageResult {
+		tr := c.NewTracker(0)
+		out := make([]StageResult, len(slots))
+		for i, s := range slots {
+			out[i] = tr.Push(s)
+		}
+		return out
+	}
+	wantA, wantB := replay(slotsA), replay(slotsB)
+	trA, trB := c.NewTracker(0), c.NewTracker(0)
+	for i := range slotsA {
+		if got := trA.Push(slotsA[i]); got != wantA[i] {
+			t.Fatalf("interleaved tracker A slot %d: %+v != %+v", i, got, wantA[i])
+		}
+		if got := trB.Push(slotsB[i]); got != wantB[i] {
+			t.Fatalf("interleaved tracker B slot %d: %+v != %+v", i, got, wantB[i])
+		}
+	}
+}

@@ -241,6 +241,12 @@ type PatternResult struct {
 // Tracker is the online per-session state: it consumes I-wide volumetric
 // slots, emits a stage per slot, accumulates the transition matrix, and
 // latches the pattern inference once confident.
+//
+// A tracker owns every scratch buffer its hot path needs — the extractor's
+// feature vector, the stage and pattern probability vectors, and the
+// transition-probability vector — so Push and its pattern inference
+// allocate nothing after the tracker is built. Trackers are per-flow,
+// single-goroutine state; the shared Classifier they point at is read-only.
 type Tracker struct {
 	c         *Classifier
 	extractor *features.StageFeatureExtractor
@@ -248,7 +254,13 @@ type Tracker struct {
 	slots     int
 	inLaunch  bool
 	launchFor time.Duration
-	pattern   *PatternResult
+	pattern   PatternResult
+	latched   bool
+
+	// stageProbs/patProbs/tmProbs are the per-tracker inference scratch.
+	stageProbs []float64
+	patProbs   []float64
+	tmProbs    [9]float64
 
 	// streak tracks how long the current confident candidate has held.
 	streakClass int
@@ -260,23 +272,26 @@ type Tracker struct {
 // is suppressed there, but the peak tracker warms up; pass 0 when unknown).
 func (c *Classifier) NewTracker(launchFor time.Duration) *Tracker {
 	return &Tracker{
-		c:         c,
-		extractor: features.NewStageFeatureExtractor(c.cfg.Volumetric),
-		inLaunch:  launchFor > 0,
-		launchFor: launchFor,
+		c:          c,
+		extractor:  features.NewStageFeatureExtractor(c.cfg.Volumetric),
+		inLaunch:   launchFor > 0,
+		launchFor:  launchFor,
+		stageProbs: make([]float64, c.stage.NumClasses()),
+		patProbs:   make([]float64, c.pattern.NumClasses()),
 	}
 }
 
 // Push consumes the next I-wide slot and returns its stage classification.
-// During the launch window it returns (StageLaunch, 1).
+// During the launch window it returns (StageLaunch, 1). Push is
+// allocation-free in steady state (pinned by TestTrackerPushAllocs).
 func (t *Tracker) Push(slot trace.Slot) StageResult {
-	x := t.extractor.Push(slot)
+	x := t.extractor.Push(slot) // borrowed extractor scratch, consumed here
 	idx := t.slots
 	t.slots++
 	if t.inLaunch && time.Duration(idx+1)*t.c.cfg.Volumetric.I <= t.launchFor {
 		return StageResult{Stage: trace.StageLaunch, Confidence: 1}
 	}
-	probs := t.c.stage.PredictProba(x)
+	probs := t.c.stage.PredictProbaInto(x, t.stageProbs)
 	best, conf := 0, 0.0
 	for i, p := range probs {
 		if p > conf {
@@ -297,7 +312,7 @@ func (t *Tracker) maybeInferPattern(slotIdx int) {
 	if int(t.tm.Total()) < t.c.cfg.MinTransitions {
 		return
 	}
-	probs := t.c.pattern.PredictProba(t.tm.Probabilities())
+	probs := t.c.pattern.PredictProbaInto(t.tm.ProbabilitiesInto(t.tmProbs[:]), t.patProbs)
 	best, conf := 0, 0.0
 	for i, p := range probs {
 		if p > conf {
@@ -317,28 +332,30 @@ func (t *Tracker) maybeInferPattern(slotIdx int) {
 	if t.streakLen < t.c.cfg.PatternStability {
 		return
 	}
-	if t.pattern == nil {
-		t.pattern = &PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: slotIdx}
-	} else if t.pattern.Pattern != gamesim.Pattern(best) {
+	switch {
+	case !t.latched:
+		t.pattern = PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: slotIdx}
+		t.latched = true
+	case t.pattern.Pattern != gamesim.Pattern(best):
 		at := t.pattern.At // keep the first decision time for telemetry
-		t.pattern = &PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: at}
-	} else {
+		t.pattern = PatternResult{Pattern: gamesim.Pattern(best), Confidence: conf, At: at}
+	default:
 		t.pattern.Confidence = conf
 	}
 }
 
 // Pattern returns the latched inference, or ok=false while undecided.
 func (t *Tracker) Pattern() (PatternResult, bool) {
-	if t.pattern == nil {
+	if !t.latched {
 		return PatternResult{}, false
 	}
-	return *t.pattern, true
+	return t.pattern, true
 }
 
 // ForcePattern returns the current best pattern guess regardless of the
 // confidence threshold (used at session end when nothing latched).
 func (t *Tracker) ForcePattern() PatternResult {
-	probs := t.c.pattern.PredictProba(t.tm.Probabilities())
+	probs := t.c.pattern.PredictProbaInto(t.tm.ProbabilitiesInto(t.tmProbs[:]), t.patProbs)
 	best, conf := 0, 0.0
 	for i, p := range probs {
 		if p > conf {

@@ -140,13 +140,37 @@ func (c *Classifier) Model() mlkit.Classifier { return c.model }
 
 // Classify reduces the launch packets of one session and predicts its title.
 func (c *Classifier) Classify(launch []trace.Pkt) Result {
-	x := features.LaunchAttributes(launch, c.cfg.Window, c.cfg.Slot, c.cfg.Groups)
-	return c.ClassifyVector(x)
+	var sc Scratch
+	return c.ClassifyWith(launch, &sc)
+}
+
+// Scratch is reusable classification state: the attribute vector and the
+// model probability vector one title decision needs. A long-running caller
+// (core.Pipeline classifies every flow it tracks) keeps one Scratch and
+// reuses it across flows; it must not be shared between goroutines. The
+// zero value is ready to use.
+type Scratch struct {
+	attrs [features.NumLaunchAttrs]float64
+	probs []float64
+}
+
+// ClassifyWith is Classify reusing caller-owned scratch, so the per-flow
+// title decision costs no allocation beyond the classifier's own work.
+func (c *Classifier) ClassifyWith(launch []trace.Pkt, sc *Scratch) Result {
+	x := features.LaunchAttributesInto(sc.attrs[:], launch, c.cfg.Window, c.cfg.Slot, c.cfg.Groups)
+	if sc.probs == nil {
+		sc.probs = make([]float64, c.model.NumClasses())
+	}
+	return c.fromProbs(c.model.PredictProbaInto(x, sc.probs))
 }
 
 // ClassifyVector predicts from a precomputed attribute vector.
 func (c *Classifier) ClassifyVector(x []float64) Result {
-	probs := c.model.PredictProba(x)
+	return c.fromProbs(c.model.PredictProba(x))
+}
+
+// fromProbs reduces a class probability vector to a Result.
+func (c *Classifier) fromProbs(probs []float64) Result {
 	best, conf := 0, 0.0
 	for i, p := range probs {
 		if p > conf {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package gamelens
+
+// raceEnabled reports whether the test binary was built with -race; see
+// race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,12 @@
+//go:build race
+
+package gamelens
+
+// raceEnabled reports whether the test binary was built with -race. The
+// facade tests train full models repeatedly; under the detector's ~10-50x
+// instrumentation that alone brushes the default per-package timeout, so
+// the fixtures scale down (fewer sessions, smaller forests) exactly as the
+// core and engine test suites already do. Everything is seeded, so the
+// scaled run is deterministic, not flaky; the full sizes run in the plain
+// pass.
+const raceEnabled = true
