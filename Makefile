@@ -18,9 +18,9 @@ GOFMT ?= gofmt
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate mergesmoke
 
-check: fmt vet build race allocgate benchsmoke ckptsmoke
+check: fmt vet build race allocgate benchsmoke ckptsmoke mergesmoke
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -42,18 +42,19 @@ race:
 # The steady-state allocation pins, run without -race (the race build
 # allocates on paths the production build does not, so the counts are only
 # meaningful plain). Every pinned path — Tracker.Push,
-# StageFeatureExtractor.Push, Forest.PredictProbaInto, Rollup.Observe —
-# must measure 0 allocs/op.
+# StageFeatureExtractor.Push, Forest.PredictProbaInto, Rollup.Observe
+# (percentile sketch insertion included), Sketch.Add/Merge — must measure
+# 0 allocs/op.
 allocgate:
-	$(GO) test -run 'Allocs$$' -count=1 ./internal/mlkit ./internal/features ./internal/stageclass ./internal/rollup
+	$(GO) test -run 'Allocs$$' -count=1 ./internal/mlkit ./internal/features ./internal/stageclass ./internal/rollup ./internal/sketch
 
 # The engine scaling curve vs the single-threaded pipeline, the lifecycle
 # memory-bound comparison, the rollup report-stream hot path, and the
-# full-path steady-state benchmark. Results land in BENCH_4.json
+# full-path steady-state benchmark. Results land in BENCH_5.json
 # (benchmark → ns/op, B/op, allocs/op, custom metrics) so the perf
 # trajectory is machine-readable across PRs.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_4.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState' -benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson -o BENCH_5.json
 
 # One cheap iteration of the lifecycle, rollup and steady-state benches in
 # short mode: a CI smoke that the bench code compiles and its invariants
@@ -68,3 +69,10 @@ benchsmoke:
 # race matrix.
 ckptsmoke:
 	$(GO) test -run 'TestCheckpoint|TestAtomic' -count=1 ./internal/rollup ./internal/persist
+
+# Multi-monitor merge smoke, end to end: the rollupmerge CLI folds two
+# per-tap checkpoint files into a fleet view byte-identical to the
+# single-tap run, and the library-level merge properties (partitioned
+# byte-identity, overlap semantics, clock skew, geometry refusal) hold.
+mergesmoke:
+	$(GO) test -run 'TestRollupMerge|TestMerge|TestCountsMerge' -count=1 ./cmd/rollupmerge ./internal/rollup

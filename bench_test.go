@@ -412,9 +412,11 @@ func BenchmarkSteadyState(b *testing.B) {
 
 // BenchmarkRollupIngest times the report-stream hot path of the
 // per-subscriber rollup subsystem: folding one finished session into its
-// window bucket. Entry timestamps march forward so the ring keeps
-// rotating (bucket resets included), the steady state of a long-running
-// monitor; subscribers cycle so the map stays hot rather than growing.
+// window bucket, percentile sketch insertions (throughput + QoE proxy)
+// included. Entry timestamps march forward so the ring keeps rotating
+// (bucket resets included, which is where sketch buffers reallocate), the
+// steady state of a long-running monitor; subscribers cycle so the map
+// stays hot rather than growing.
 func BenchmarkRollupIngest(b *testing.B) {
 	const subscribers = 256
 	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
@@ -427,6 +429,7 @@ func BenchmarkRollupIngest(b *testing.B) {
 			Subscriber:   netip.AddrFrom4([4]byte{10, 77, 0, byte(i % subscribers)}),
 			Title:        titles[i%len(titles)],
 			MeanDownMbps: 8 + float64(i%17),
+			QoEProxy:     float64(i%11) / 10,
 		}
 		if e.Title == "" {
 			e.Pattern = "continuous-play"

@@ -19,10 +19,15 @@
 //
 // With -rollup, every report also feeds a per-subscriber sliding window
 // (session counts, per-title share, stage minutes, objective-vs-effective
-// QoE), printed as an operator dashboard at end of run. -checkpoint makes
-// the window durable: the rollup is restored from the file when it exists
-// (a restarted monitor resumes its aggregations) and atomically rewritten
-// at end of run.
+// QoE, throughput/QoE-proxy percentiles), printed as an operator dashboard
+// at end of run. -checkpoint makes the window durable: the rollup is
+// restored from the file when it exists (a restarted monitor resumes its
+// aggregations) and atomically rewritten at end of run. A checkpoint
+// carries its own window geometry; if -rollup asks for a different one,
+// resuming would silently re-bucket history wrong, so classify refuses
+// (non-zero exit) unless -rollup-force explicitly accepts the checkpoint's
+// geometry. Multiple taps' checkpoints merge into one fleet view with the
+// rollupmerge command.
 //
 // The usage line below is usageLine in main.go — flag.Usage and this
 // comment share it as the single source of truth; keep them in sync with
@@ -30,7 +35,7 @@
 //
 // Usage:
 //
-//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] capture.pcap
+//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] [-rollup-force] capture.pcap
 package main
 
 import (
@@ -52,7 +57,7 @@ import (
 // and the package comment's Usage section quotes it. A flag added here must
 // be added to the flag set below (and vice versa) or the mismatch is
 // visible in -h output next to PrintDefaults.
-const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] capture.pcap"
+const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] [-rollup-force] capture.pcap"
 
 func main() {
 	log.SetFlags(0)
@@ -65,6 +70,7 @@ func main() {
 	flowTTL := flag.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
 	rollupWin := flag.Duration("rollup", 0, "maintain per-subscriber sliding-window aggregates over this window of capture time and print the dashboard at the end (0 = off unless -checkpoint is set, then 1h)")
 	checkpoint := flag.String("checkpoint", "", "rollup checkpoint file: restored at startup when present, atomically rewritten at end of run")
+	rollupForce := flag.Bool("rollup-force", false, "resume from a checkpoint whose window geometry conflicts with -rollup (the checkpoint's geometry wins)")
 	flag.Usage = func() {
 		fmt.Fprintln(flag.CommandLine.Output(), usageLine)
 		flag.PrintDefaults()
@@ -97,25 +103,15 @@ func main() {
 	// The per-subscriber rollup window, possibly resumed from a checkpoint.
 	var ru *gamelens.Rollup
 	if *rollupWin > 0 || *checkpoint != "" {
-		if *checkpoint != "" {
-			if restored, err := gamelens.LoadRollup(*checkpoint); err == nil {
-				ru = restored
-				st := ru.Stats()
-				log.Printf("resumed rollup from %s (%d subscribers, %d sessions ingested, clock %v)",
-					*checkpoint, st.Subscribers, st.Ingested, ru.Clock().Format(time.RFC3339))
-				// A checkpoint carries its own window geometry; resuming
-				// keeps it so the aggregations stay comparable. Flag a
-				// conflicting -rollup rather than silently ignoring it.
-				if *rollupWin > 0 && ru.Config().Window != *rollupWin {
-					log.Printf("warning: -rollup %v ignored; checkpoint window is %v (delete %s to change geometry)",
-						*rollupWin, ru.Config().Window, *checkpoint)
-				}
-			} else if !os.IsNotExist(err) {
-				log.Fatalf("restoring rollup: %v", err)
-			}
+		resolved, resumed, err := resolveRollup(*checkpoint, *rollupWin, *rollupForce)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if ru == nil {
-			ru = gamelens.NewRollup(gamelens.RollupConfig{Window: *rollupWin})
+		ru = resolved
+		if resumed {
+			st := ru.Stats()
+			log.Printf("resumed rollup from %s (%d subscribers, %d sessions ingested, clock %v)",
+				*checkpoint, st.Subscribers, st.Ingested, ru.Clock().Format(time.RFC3339))
 		}
 	}
 
@@ -194,6 +190,39 @@ func main() {
 	}
 }
 
+// resolveRollup builds the monitor's rollup window: restored from the
+// checkpoint when path names an existing file, fresh over window otherwise.
+// A checkpoint carries its own window geometry (span and bucket count);
+// resuming it under a conflicting -rollup would silently re-bucket the
+// restored history wrong, so a mismatch between the checkpoint's geometry
+// and what -rollup would configure is an error unless force (the
+// -rollup-force flag) explicitly accepts the checkpoint's geometry. The
+// resumed result reports whether a checkpoint was restored.
+func resolveRollup(path string, window time.Duration, force bool) (ru *gamelens.Rollup, resumed bool, err error) {
+	if path != "" {
+		restored, err := gamelens.LoadRollup(path)
+		switch {
+		case err == nil:
+			if window > 0 {
+				want := gamelens.NewRollup(gamelens.RollupConfig{Window: window}).Config()
+				if got := restored.Config(); got != want {
+					if !force {
+						return nil, false, fmt.Errorf(
+							"checkpoint %s holds a %v window in %d buckets but -rollup %v asks for %v in %d: resuming would re-bucket history wrong; pass -rollup-force to keep the checkpoint's geometry, or delete the checkpoint to start over",
+							path, got.Window, got.Buckets, window, want.Window, want.Buckets)
+					}
+					log.Printf("warning: -rollup %v overridden by -rollup-force; keeping checkpoint geometry %v/%d buckets",
+						window, got.Window, got.Buckets)
+				}
+			}
+			return restored, true, nil
+		case !os.IsNotExist(err):
+			return nil, false, fmt.Errorf("restoring rollup: %w", err)
+		}
+	}
+	return gamelens.NewRollup(gamelens.RollupConfig{Window: window}), false, nil
+}
+
 // printReport renders one session report; in streaming mode it is (part of)
 // the engine sink (the engine serializes calls, so plain printing is safe).
 func printReport(rep *gamelens.SessionReport) {
@@ -210,10 +239,13 @@ func printRollup(ru *gamelens.Rollup) {
 		ru.Clock().Format(time.RFC3339), len(aggs))
 	for _, a := range aggs {
 		w := a.Window
-		fmt.Printf("  %-15v %3d sessions (%d evicted)  active %5.1fm passive %5.1fm idle %5.1fm  %5.1f Mbps  QoE good obj %3.0f%% eff %3.0f%%\n",
+		mbps := w.ThroughputPercentiles()
+		fmt.Printf("  %-15v %3d sessions (%d evicted)  active %5.1fm passive %5.1fm idle %5.1fm  %5.1f Mbps (p50/p90/p99 %.1f/%.1f/%.1f)  QoE good obj %3.0f%% eff %3.0f%% proxy p50 %.2f\n",
 			a.Subscriber, w.Sessions, w.Evicted,
 			w.StageMinutes[trace.StageActive], w.StageMinutes[trace.StagePassive],
 			w.StageMinutes[trace.StageIdle], w.MeanDownMbps(),
-			w.GoodShare(false)*100, w.GoodShare(true)*100)
+			mbps.P50, mbps.P90, mbps.P99,
+			w.GoodShare(false)*100, w.GoodShare(true)*100,
+			w.QoEProxyQuantile(0.5))
 	}
 }

@@ -1,0 +1,99 @@
+// Command rollupmerge folds per-tap rollup checkpoints into one fleet-view
+// checkpoint: N monitors, each watching its own segment of the access
+// network and checkpointing its per-subscriber window independently, merge
+// into the single dashboard an operator actually watches.
+//
+// Merge semantics are the library's (internal/rollup Merge): window
+// geometry must match exactly across all inputs; the merged clock is the
+// newest tap's; buckets that have aged out of the merged window prune
+// silently, as any tap's own advancing clock would prune them; disjoint
+// subscriber sets union — over a partitioned
+// subscriber population the merged checkpoint is byte-identical to what a
+// single tap covering everything would have written — and overlapping
+// subscribers aggregate the union-sum of both taps' sessions (each session
+// must be reported by exactly one tap; a session duplicated to two taps
+// counts twice).
+//
+// The output is written atomically (write-temp-rename), so a crash
+// mid-merge never corrupts an existing fleet checkpoint. The output path
+// may also be one of the inputs.
+//
+// The usage line below is usageLine in main.go — flag.Usage and this
+// comment share it as the single source of truth.
+//
+// Usage:
+//
+//	rollupmerge -o FLEET.ckpt TAP.ckpt [TAP.ckpt...]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"gamelens"
+)
+
+// usageLine is the one authoritative usage string: flag.Usage prints it,
+// and the package comment's Usage section quotes it.
+const usageLine = "usage: rollupmerge -o FLEET.ckpt TAP.ckpt [TAP.ckpt...]"
+
+// run merges the tap checkpoints named by args into the -o output; it is
+// main without the exit codes, so the merge smoke test can drive the whole
+// CLI in-process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rollupmerge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "fleet checkpoint to write (atomically); may be one of the inputs")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, usageLine)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return errors.New("missing -o output checkpoint")
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return errors.New("no tap checkpoints to merge")
+	}
+
+	var fleet *gamelens.Rollup
+	for _, path := range fs.Args() {
+		tap, err := gamelens.LoadRollup(path)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		st := tap.Stats()
+		fmt.Fprintf(stdout, "  %s: %d subscribers, %d sessions ingested (%d late), window %v/%d, clock %v\n",
+			path, st.Subscribers, st.Ingested, st.Late,
+			tap.Config().Window, tap.Config().Buckets, tap.Clock().Format(time.RFC3339))
+		if fleet == nil {
+			fleet = tap
+			continue
+		}
+		if err := fleet.Merge(tap); err != nil {
+			return fmt.Errorf("merging %s: %w", path, err)
+		}
+	}
+	if err := fleet.SaveFile(*out); err != nil {
+		return fmt.Errorf("writing fleet checkpoint: %w", err)
+	}
+	st := fleet.Stats()
+	fmt.Fprintf(stdout, "merged %d checkpoints into %s: %d subscribers, %d sessions ingested (%d late), clock %v\n",
+		fs.NArg(), *out, st.Subscribers, st.Ingested, st.Late, fleet.Clock().Format(time.RFC3339))
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "rollupmerge:", err)
+		os.Exit(1)
+	}
+}

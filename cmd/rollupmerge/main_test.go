@@ -1,0 +1,133 @@
+package main
+
+// The mergesmoke gate: drives the whole CLI in-process over real
+// checkpoint files — per-tap checkpoints in, one fleet checkpoint out —
+// and pins the partitioned-taps contract end to end: the merged file is
+// byte-identical to the checkpoint a single tap covering every subscriber
+// would have written.
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"gamelens"
+	"gamelens/internal/qoe"
+)
+
+// tapEntry synthesizes one deterministic session for subscriber sub.
+func tapEntry(sub, i int) gamelens.RollupEntry {
+	e := gamelens.RollupEntry{
+		Subscriber:   netip.AddrFrom4([4]byte{10, 1, 0, byte(sub)}),
+		End:          time.Date(2026, 7, 10, 8, 0, 0, 0, time.UTC).Add(time.Duration(i) * 2 * time.Minute),
+		MeanDownMbps: 5 + float64(i%25),
+		QoEProxy:     float64(i%10) / 9,
+		Objective:    qoe.Level(i % 3),
+		Effective:    qoe.Level((i + 1) % 3),
+	}
+	if i%3 == 0 {
+		e.Title = "Fortnite"
+	} else {
+		e.Pattern = "continuous-play"
+	}
+	return e
+}
+
+func TestRollupMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gamelens.RollupConfig{Window: 4 * time.Hour, Buckets: 8}
+
+	// One rollup per tap (subscribers partitioned by parity) and the
+	// single-tap reference that saw everything.
+	tapA, tapB := gamelens.NewRollup(cfg), gamelens.NewRollup(cfg)
+	single := gamelens.NewRollup(cfg)
+	for i := 0; i < 60; i++ {
+		e := tapEntry(i%8, i)
+		single.Observe(e)
+		if (i%8)%2 == 0 {
+			tapA.Observe(e)
+		} else {
+			tapB.Observe(e)
+		}
+	}
+	pathA := filepath.Join(dir, "tapA.ckpt")
+	pathB := filepath.Join(dir, "tapB.ckpt")
+	for path, ru := range map[string]*gamelens.Rollup{pathA: tapA, pathB: tapB} {
+		if err := ru.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := filepath.Join(dir, "fleet.ckpt")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-o", out, pathA, pathB}, &stdout, &stderr); err != nil {
+		t.Fatalf("rollupmerge failed: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "merged 2 checkpoints") {
+		t.Errorf("summary line missing from output:\n%s", stdout.String())
+	}
+
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := single.Snapshot(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("fleet checkpoint differs from single-tap reference:\n%s\nvs\n%s", got, want.String())
+	}
+
+	// The merged file restores and answers like the single-tap rollup.
+	fleet, err := gamelens.LoadRollup(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fleet.Stats(), single.Stats(); got != want {
+		t.Errorf("fleet stats %+v, want %+v", got, want)
+	}
+	fleetTotal, singleTotal := fleet.Total(), single.Total()
+	if got, want := fleetTotal.ThroughputPercentiles(), singleTotal.ThroughputPercentiles(); got != want {
+		t.Errorf("fleet percentiles %+v, want %+v", got, want)
+	}
+}
+
+// TestRollupMergeCLIErrors pins the refusal paths: bad flags, a missing
+// input, and a geometry mismatch all error out instead of writing a wrong
+// fleet view.
+func TestRollupMergeCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "ok.ckpt")
+	ru := gamelens.NewRollup(gamelens.RollupConfig{Window: time.Hour})
+	ru.Observe(tapEntry(1, 1))
+	if err := ru.SaveFile(ok); err != nil {
+		t.Fatal(err)
+	}
+	other := filepath.Join(dir, "other.ckpt")
+	ru2 := gamelens.NewRollup(gamelens.RollupConfig{Window: 2 * time.Hour})
+	ru2.Observe(tapEntry(2, 2))
+	if err := ru2.SaveFile(other); err != nil {
+		t.Fatal(err)
+	}
+
+	var sink bytes.Buffer
+	out := filepath.Join(dir, "out.ckpt")
+	for name, args := range map[string][]string{
+		"no output":         {ok},
+		"no inputs":         {"-o", out},
+		"missing input":     {"-o", out, filepath.Join(dir, "nope.ckpt")},
+		"geometry mismatch": {"-o", out, ok, other},
+	} {
+		if err := run(args, &sink, &sink); err == nil {
+			t.Errorf("%s: run succeeded, want error", name)
+		}
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("a failed merge wrote the output checkpoint")
+	}
+}

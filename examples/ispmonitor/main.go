@@ -16,6 +16,13 @@
 // process would, replays the rest of the day, and verifies the resumed
 // window is byte-identical to an uninterrupted one — the §5 requirement
 // that a monitor restart must not lose the day's Fig 11–13 aggregations.
+//
+// The deployment also scales out: the run closes by splitting the
+// subscriber population across two monitoring taps, checkpointing each tap
+// independently, and folding the checkpoints into one fleet view with
+// Rollup.Merge (what the rollupmerge CLI does over checkpoint files) —
+// verified byte-identical to the single tap that saw everything, sketched
+// percentiles included.
 package main
 
 import (
@@ -123,6 +130,7 @@ func main() {
 
 	printDashboard(live)
 	demonstrateRestart(records)
+	demonstrateFleetMerge(records)
 }
 
 // printDashboard renders the per-subscriber operator view of the window.
@@ -131,7 +139,7 @@ func printDashboard(ru *gamelens.Rollup) {
 	total := ru.Total()
 	fmt.Printf("\nper-subscriber dashboard (window clock %v, %d subscribers, %d sessions):\n",
 		ru.Clock().Format("15:04:05"), len(aggs), total.Sessions)
-	fmt.Println("  subscriber       sessions   active/passive/idle min      Mbps   good obj->eff")
+	fmt.Println("  subscriber       sessions   active/passive/idle min      Mbps p50/p90/p99    good obj->eff  QoE p50")
 	for _, a := range aggs {
 		w := a.Window
 		top := ""
@@ -144,11 +152,14 @@ func printDashboard(ru *gamelens.Rollup) {
 		if top == "" {
 			top = "(long tail)"
 		}
-		fmt.Printf("  %-15v   %3d      %6.1f / %6.1f / %6.1f   %7.1f    %3.0f%% -> %3.0f%%   %s\n",
+		mbps := w.ThroughputPercentiles()
+		fmt.Printf("  %-15v   %3d      %6.1f / %6.1f / %6.1f   %5.1f/%5.1f/%5.1f    %3.0f%% -> %3.0f%%    %.2f   %s\n",
 			a.Subscriber, w.Sessions,
 			w.StageMinutes[trace.StageActive], w.StageMinutes[trace.StagePassive],
-			w.StageMinutes[trace.StageIdle], w.MeanDownMbps(),
-			w.GoodShare(false)*100, w.GoodShare(true)*100, top)
+			w.StageMinutes[trace.StageIdle],
+			mbps.P50, mbps.P90, mbps.P99,
+			w.GoodShare(false)*100, w.GoodShare(true)*100,
+			w.QoEProxyQuantile(0.5), top)
 	}
 }
 
@@ -203,4 +214,71 @@ func demonstrateRestart(records []*fleet.SessionRecord) {
 	} else {
 		log.Fatal("restart-resume DIVERGED: resumed window differs from the uninterrupted run")
 	}
+}
+
+// demonstrateFleetMerge replays the multi-monitor deployment: the
+// subscriber population splits across two taps (even-index households on
+// tap A, odd on tap B), each tap keeps its own rollup and checkpoints
+// independently, and the checkpoints fold into one fleet view — the exact
+// work of `rollupmerge -o fleet.ckpt tapA.ckpt tapB.ckpt` — which must be
+// byte-identical to the single tap that saw everything.
+func demonstrateFleetMerge(records []*fleet.SessionRecord) {
+	dir := os.TempDir()
+	pathA := filepath.Join(dir, "ispmonitor-tapA.ckpt")
+	pathB := filepath.Join(dir, "ispmonitor-tapB.ckpt")
+	defer os.Remove(pathA)
+	defer os.Remove(pathB)
+
+	newRollup := func() *gamelens.Rollup {
+		return gamelens.NewRollup(gamelens.RollupConfig{Window: 24 * time.Hour, Buckets: 24})
+	}
+	single, tapA, tapB := newRollup(), newRollup(), newRollup()
+	wholeSink := fleet.RollupSink(single, dayStart, stagger, subscribers)
+	sinkA := fleet.RollupSink(tapA, dayStart, stagger, subscribers)
+	sinkB := fleet.RollupSink(tapB, dayStart, stagger, subscribers)
+	for _, r := range records {
+		wholeSink(r)
+		if (r.Index%subscribers)%2 == 0 {
+			sinkA(r)
+		} else {
+			sinkB(r)
+		}
+	}
+	if err := tapA.SaveFile(pathA); err != nil {
+		log.Fatalf("tap A checkpoint: %v", err)
+	}
+	if err := tapB.SaveFile(pathB); err != nil {
+		log.Fatalf("tap B checkpoint: %v", err)
+	}
+	stA, stB := tapA.Stats(), tapB.Stats()
+	fmt.Printf("\nfleet merge: tap A (%d subscribers, %d sessions) + tap B (%d subscribers, %d sessions)\n",
+		stA.Subscribers, stA.Ingested, stB.Subscribers, stB.Ingested)
+
+	fleetView, err := gamelens.LoadRollup(pathA)
+	if err != nil {
+		log.Fatalf("restore tap A: %v", err)
+	}
+	tapBRestored, err := gamelens.LoadRollup(pathB)
+	if err != nil {
+		log.Fatalf("restore tap B: %v", err)
+	}
+	if err := fleetView.Merge(tapBRestored); err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+
+	var want, got bytes.Buffer
+	if err := single.Snapshot(&want); err != nil {
+		log.Fatal(err)
+	}
+	if err := fleetView.Snapshot(&got); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		log.Fatal("fleet merge DIVERGED: merged taps differ from the single-tap run")
+	}
+	total := fleetView.Total()
+	mbps := total.ThroughputPercentiles()
+	fmt.Printf("fleet merge verified: merged view byte-identical to the single tap (%d subscribers, %d sessions; fleet Mbps p50/p90/p99 %.1f/%.1f/%.1f, QoE proxy p50 %.2f)\n",
+		fleetView.Stats().Subscribers, total.Sessions, mbps.P50, mbps.P90, mbps.P99,
+		total.QoEProxyQuantile(0.5))
 }

@@ -20,9 +20,10 @@
 //     substrates standing in for the paper's datasets
 //   - internal/core: the online Fig 6 pipeline
 //   - internal/engine: the sharded multi-core front-end over the pipeline
-//   - internal/rollup, internal/persist: per-subscriber sliding-window
-//     dashboard aggregates over the report stream, with crash-safe JSON
-//     checkpoint/restore
+//   - internal/rollup, internal/sketch, internal/persist: per-subscriber
+//     sliding-window dashboard aggregates over the report stream —
+//     including mergeable throughput/QoE percentile sketches — with
+//     crash-safe JSON checkpoint/restore and multi-monitor merge
 //
 // # Concurrency model
 //
@@ -74,11 +75,25 @@
 // per-pattern share, per-stage minutes, the objective-vs-effective QoE mix
 // — in a ring of fixed-width packet-time buckets per subscriber, so memory
 // is O(subscribers × buckets) no matter how many reports the window has
-// absorbed. Chain it into any sink with Rollup.Sink. The whole window
-// round-trips through a canonical JSON checkpoint (Snapshot/Restore, or
-// SaveFile/LoadFile for atomic write-temp-rename persistence): a restarted
-// monitor resumes the day's aggregations exactly — the restart-resume
-// equivalence is pinned by internal/rollup's tests.
+// absorbed. Chain it into any sink with Rollup.Sink. Every bucket also
+// carries two mergeable percentile sketches (QuantileSketch,
+// internal/sketch: deterministic fixed-centroid layout, 5% relative
+// accuracy): per-session mean downstream Mbps and the continuous [0, 1]
+// QoE proxy (SessionReport.EffectiveScore), so each SubscriberAggregate
+// answers p50/p90/p99 drill-downs via RollupCounts.ThroughputPercentiles
+// and QoEProxyPercentiles. The whole window round-trips through a
+// canonical JSON checkpoint (Snapshot/Restore, or SaveFile/LoadFile for
+// atomic write-temp-rename persistence): a restarted monitor resumes the
+// day's aggregations exactly — the restart-resume equivalence is pinned by
+// internal/rollup's tests.
+//
+// Multiple monitoring taps fold into one fleet view with Rollup.Merge (or
+// the rollupmerge command over their checkpoint files): window geometry
+// must match, disjoint subscriber sets union — over a partitioned
+// subscriber population the merged checkpoint is byte-identical to a
+// single tap that saw everything — and overlapping subscribers aggregate
+// the union-sum of both taps' sessions (each session must be reported by
+// exactly one tap).
 //
 //	ru := gamelens.NewRollup(gamelens.RollupConfig{Window: time.Hour})
 //	eng := gamelens.NewEngine(gamelens.EngineConfig{
@@ -88,6 +103,9 @@
 //	}, models)
 //	// ... periodically: ru.SaveFile("rollup.ckpt")
 //	// after a restart: ru, err := gamelens.LoadRollup("rollup.ckpt")
+//	// fleet view: fleet, _ := gamelens.LoadRollup("tap1.ckpt")
+//	//             tap2, _ := gamelens.LoadRollup("tap2.ckpt")
+//	//             err = fleet.Merge(tap2)
 //
 // # Performance model
 //
@@ -109,7 +127,9 @@
 //     package-wide; the classification itself runs in pipeline-owned
 //     scratch).
 //   - Per report: one SessionReport at eviction/Finish; a rollup absorbs
-//     it with zero allocations once its subscriber's window bucket is warm.
+//     it with zero allocations once its subscriber's window bucket is warm
+//     — percentile sketch insertion included, since each sketch owns its
+//     fixed centroid buffer (allocated once when the bucket rotates).
 //
 // Scratch-buffer borrow rules, for callers composing the internals: every
 // `...Into(x, dst)` method (mlkit.Classifier.PredictProbaInto,
@@ -167,6 +187,7 @@ import (
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
 	"gamelens/internal/rollup"
+	"gamelens/internal/sketch"
 	"gamelens/internal/stageclass"
 	"gamelens/internal/titleclass"
 )
@@ -202,6 +223,11 @@ type (
 	SubscriberAggregate = rollup.Aggregate
 	// RollupStats are the rollup's observability counters.
 	RollupStats = rollup.Stats
+	// RollupPercentiles is a sketched distribution read at p50/p90/p99.
+	RollupPercentiles = rollup.Percentiles
+	// QuantileSketch is the deterministic mergeable quantile sketch rollup
+	// buckets carry for throughput and QoE-proxy distributions.
+	QuantileSketch = sketch.Sketch
 	// TitleClassifier is the §4.2 game-title classifier.
 	TitleClassifier = titleclass.Classifier
 	// StageClassifier is the §4.3 stage + pattern classifier.

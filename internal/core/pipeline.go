@@ -175,6 +175,12 @@ type SessionReport struct {
 	MeanDownMbps float64
 	Objective    qoe.Level
 	Effective    qoe.Level
+	// EffectiveScore is the session's continuous effective-QoE proxy in
+	// [0, 1]: the mean graded-slot level (qoe.SessionScoreFromCounts over
+	// the same per-flow histogram Effective majority-votes), preserved so
+	// the rollup's percentile sketches see the within-session QoE mix the
+	// discrete grade collapses.
+	EffectiveScore float64
 	// End is the session's last packet timestamp (the report covers
 	// [Flow.FirstSeen, End]). Zero on reports built directly from
 	// FlowSession.Report without finalization.
@@ -382,13 +388,14 @@ func estimateFrameRate(slot trace.Slot, i time.Duration) float64 {
 // Report summarizes one flow session.
 func (fs *FlowSession) Report() *SessionReport {
 	r := &SessionReport{
-		Flow:         fs.Flow,
-		Title:        fs.Title,
-		Pattern:      fs.Pattern,
-		PatternKnown: fs.PatternKnown,
-		StageMinutes: fs.StageMinutes,
-		Objective:    qoe.SessionLevelFromCounts(fs.objCounts),
-		Effective:    qoe.SessionLevelFromCounts(fs.effCounts),
+		Flow:           fs.Flow,
+		Title:          fs.Title,
+		Pattern:        fs.Pattern,
+		PatternKnown:   fs.PatternKnown,
+		StageMinutes:   fs.StageMinutes,
+		Objective:      qoe.SessionLevelFromCounts(fs.objCounts),
+		Effective:      qoe.SessionLevelFromCounts(fs.effCounts),
+		EffectiveScore: qoe.SessionScoreFromCounts(fs.effCounts),
 	}
 	if fs.secs > 0 {
 		r.MeanDownMbps = float64(fs.bytesDown) * 8 / fs.secs / 1e6

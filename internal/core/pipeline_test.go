@@ -129,6 +129,15 @@ func TestPipelineEndToEndFromPCAP(t *testing.T) {
 	if r.Effective < r.Objective {
 		t.Errorf("effective %v < objective %v on a healthy path", r.Effective, r.Objective)
 	}
+	// The continuous QoE proxy must agree with the discrete grade: a
+	// session graded Good by slot majority can never score below the
+	// midpoint (the minimum is an exact Good/Bad tie at 0.5).
+	if r.EffectiveScore < 0 || r.EffectiveScore > 1 {
+		t.Errorf("effective score %v outside [0, 1]", r.EffectiveScore)
+	}
+	if r.Effective == qoe.Good && r.EffectiveScore < 0.5 {
+		t.Errorf("effective score %v < 0.5 on a Good-graded session", r.EffectiveScore)
+	}
 	if r.String() == "" {
 		t.Error("empty report string")
 	}

@@ -102,6 +102,10 @@ type SessionRecord struct {
 	// contexts, as deployed.
 	Objective qoe.Level
 	Effective qoe.Level
+	// EffectiveScore is the continuous effective-QoE proxy in [0, 1] (mean
+	// graded-slot level, qoe.SessionScore) the rollup sketches for
+	// percentile views.
+	EffectiveScore float64
 	// DurationMinutes is the session length.
 	DurationMinutes float64
 }
@@ -310,5 +314,6 @@ func (d *Deployment) measure(s *gamesim.Session) *SessionRecord {
 	}
 	rec.Objective = qoe.SessionLevel(objective)
 	rec.Effective = qoe.SessionLevel(effective)
+	rec.EffectiveScore = qoe.SessionScore(effective)
 	return rec
 }

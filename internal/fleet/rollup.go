@@ -42,6 +42,7 @@ func RecordEntry(r *SessionRecord, base time.Time, stagger time.Duration, subscr
 		MeanDownMbps: r.MeanDownMbps,
 		Objective:    r.Objective,
 		Effective:    r.Effective,
+		QoEProxy:     r.EffectiveScore,
 	}
 	if r.TitleResult.Known {
 		e.Title = r.TitleResult.Title.String()

@@ -185,6 +185,40 @@ func SessionLevelFromCounts(counts [NumLevels]int64) Level {
 	return best
 }
 
+// SessionScoreFromCounts reduces a per-level histogram to a continuous
+// session experience score in [0, 1]: the mean graded-slot level normalized
+// by the best grade (0 = every slot Bad, 1 = every slot Good). The
+// majority-vote SessionLevelFromCounts answers "how was the session
+// overall"; the score preserves how much of the session each grade covered
+// — two subscribers can both grade Medium while one spent half its slots
+// Bad — which is what the rollup's percentile sketches distribute over. A
+// histogram with no graded slots scores 1, matching the Good seed of
+// SessionLevelFromCounts. Integer sums with one final division, so the
+// score is independent of accumulation order.
+func SessionScoreFromCounts(counts [NumLevels]int64) float64 {
+	var total, weighted int64
+	for l, n := range counts {
+		total += n
+		weighted += int64(l) * n
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(weighted) / float64(total*int64(NumLevels-1))
+}
+
+// SessionScore is SessionScoreFromCounts over a per-slot level slice
+// (out-of-range levels are skipped, as in SessionLevel).
+func SessionScore(levels []Level) float64 {
+	var counts [NumLevels]int64
+	for _, l := range levels {
+		if l >= 0 && int(l) < NumLevels {
+			counts[l]++
+		}
+	}
+	return SessionScoreFromCounts(counts)
+}
+
 // EstimateSessionQoS derives the per-I-slot QoS series of a generated
 // session: throughput from the volumetric slots, frame rate with the
 // QoS-derived estimator of prior work (nominal fps degraded by bandwidth

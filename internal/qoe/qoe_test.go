@@ -103,6 +103,38 @@ func TestSessionLevelMajority(t *testing.T) {
 	}
 }
 
+// TestSessionScore pins the continuous QoE proxy: the mean graded-slot
+// level on the [0, 1] scale, with the same empty-session convention as the
+// majority grade.
+func TestSessionScore(t *testing.T) {
+	if s := SessionScore([]Level{Good, Good, Good}); s != 1 {
+		t.Errorf("all-good score = %v, want 1", s)
+	}
+	if s := SessionScore([]Level{Bad, Bad}); s != 0 {
+		t.Errorf("all-bad score = %v, want 0", s)
+	}
+	// Two sessions that both grade Medium by majority but differ in score:
+	// the proxy preserves the mix the majority vote collapses.
+	if s := SessionScore([]Level{Medium, Medium, Bad}); s != 1.0/3 {
+		t.Errorf("medium-leaning-bad score = %v, want 1/3", s)
+	}
+	if s := SessionScore([]Level{Medium, Medium, Good}); s != 2.0/3 {
+		t.Errorf("medium-leaning-good score = %v, want 2/3", s)
+	}
+	if s := SessionScore(nil); s != 1 {
+		t.Errorf("empty session score = %v, want 1 (matching SessionLevel's Good)", s)
+	}
+	// Out-of-range levels are skipped, not counted.
+	if s := SessionScore([]Level{Good, Level(99), Level(-1)}); s != 1 {
+		t.Errorf("score with junk levels = %v, want 1", s)
+	}
+	var counts [NumLevels]int64
+	counts[Bad], counts[Good] = 1, 1
+	if s := SessionScoreFromCounts(counts); s != 0.5 {
+		t.Errorf("histogram score = %v, want 0.5", s)
+	}
+}
+
 func TestEstimateSessionQoSHealthy(t *testing.T) {
 	cfg := gamesim.ClientConfig{Resolution: gamesim.ResQHD, FPS: 60}
 	s := gamesim.Generate(gamesim.Overwatch2, cfg, gamesim.LabNetwork(), 3,

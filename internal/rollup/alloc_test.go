@@ -10,9 +10,10 @@ import (
 
 // TestRollupObserveAllocs pins the report-stream hot path at zero
 // allocations in steady state: a warm subscriber's window bucket absorbs an
-// entry by pure addition. (Cold paths still allocate — a new subscriber's
-// ring, a rotated bucket's title map — but those are per-subscriber and
-// per-bucket-width events, not per-report.)
+// entry — the additive counters and both percentile sketch insertions — by
+// pure addition. (Cold paths still allocate — a new subscriber's ring, a
+// rotated bucket's title map and sketch buffers — but those are
+// per-subscriber and per-bucket-width events, not per-report.)
 func TestRollupObserveAllocs(t *testing.T) {
 	if race.Enabled {
 		t.Skip("allocation counts are only pinned in the plain build")
@@ -23,6 +24,7 @@ func TestRollupObserveAllocs(t *testing.T) {
 		End:          time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC),
 		Title:        "Fortnite",
 		MeanDownMbps: 14,
+		QoEProxy:     0.83,
 	}
 	e.StageMinutes[2] = 3.5
 	r.Observe(e) // warm: subscriber ring, bucket, title map entry

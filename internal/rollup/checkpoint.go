@@ -4,8 +4,9 @@
 // the last checkpoint left them.
 //
 // The encoding is deterministic — subscribers sorted by address, buckets
-// sorted by absolute index, map keys sorted by encoding/json, float64s in
-// Go's shortest round-trip form — so two rollups holding the same window
+// sorted by absolute index, sketch centroids sorted by centroid index, map
+// keys sorted by encoding/json, float64s in Go's shortest round-trip form —
+// so two rollups holding the same window
 // state produce byte-identical checkpoints, and a snapshot-restore-snapshot
 // cycle is the identity. Two rollups fed the same entries reach the same
 // state whenever no entry was late-dropped (see the package comment's
@@ -26,9 +27,15 @@ import (
 	"time"
 
 	"gamelens/internal/persist"
+	"gamelens/internal/sketch"
 )
 
-const checkpointFormat = "gamelens-rollup-v1"
+// checkpointFormat names the document schema. v2 added the per-bucket
+// percentile sketches (throughput, qoe_proxy) and the unknown-bucket
+// counters; v1 documents are rejected rather than restored with silently
+// empty distributions — delete the old checkpoint (or re-run the capture)
+// to migrate.
+const checkpointFormat = "gamelens-rollup-v2"
 
 // checkpointJSON is the stable on-disk representation of a Rollup.
 type checkpointJSON struct {
@@ -48,7 +55,8 @@ type subscriberJSON struct {
 
 type bucketJSON struct {
 	// Idx is the absolute bucket number; the bucket spans packet time
-	// [Idx*width, (Idx+1)*width).
+	// [Idx*width, (Idx+1)*width). Negative numbers are legal: a capture
+	// that starts before the Unix epoch buckets below zero.
 	Idx    int64  `json:"idx"`
 	Counts Counts `json:"counts"`
 }
@@ -78,7 +86,7 @@ func (r *Rollup) Snapshot(w io.Writer) error {
 		sj := subscriberJSON{Addr: addr.String()}
 		for i := range sub.ring {
 			b := &sub.ring[i]
-			if b.idx >= 0 && r.liveLocked(b.idx) && b.counts.Sessions > 0 {
+			if b.idx != noBucket && r.liveLocked(b.idx) && b.counts.Sessions > 0 {
 				sj.Buckets = append(sj.Buckets, bucketJSON{Idx: b.idx, Counts: b.counts})
 			}
 		}
@@ -129,11 +137,14 @@ func Restore(rd io.Reader) (*Rollup, error) {
 		}
 		sub := newSubscriber(doc.Buckets)
 		for _, bj := range sj.Buckets {
-			if bj.Idx < 0 {
-				return nil, fmt.Errorf("rollup: subscriber %s: negative bucket index %d", sj.Addr, bj.Idx)
+			if bj.Idx == noBucket {
+				return nil, fmt.Errorf("rollup: subscriber %s: bucket index %d is the empty-slot sentinel", sj.Addr, bj.Idx)
+			}
+			if err := validateCounts(&bj.Counts); err != nil {
+				return nil, fmt.Errorf("rollup: subscriber %s bucket %d: %w", sj.Addr, bj.Idx, err)
 			}
 			slot := &sub.ring[r.pos(bj.Idx)]
-			if slot.idx >= 0 {
+			if slot.idx != noBucket {
 				return nil, fmt.Errorf("rollup: subscriber %s: buckets %d and %d share a ring slot",
 					sj.Addr, slot.idx, bj.Idx)
 			}
@@ -142,6 +153,30 @@ func Restore(rd io.Reader) (*Rollup, error) {
 		r.subs[addr] = sub
 	}
 	return r, nil
+}
+
+// validateCounts rejects bucket aggregates a correct Snapshot cannot have
+// produced: every bucket that counted a session must carry both percentile
+// sketches, in the package geometry (mergeability depends on it), holding
+// exactly one sample per session. Restoring anything looser would let a
+// corrupt checkpoint silently desynchronize the distributions from the
+// counts they summarize.
+func validateCounts(c *Counts) error {
+	if c.Sessions <= 0 {
+		return fmt.Errorf("non-positive session count %d", c.Sessions)
+	}
+	for name, s := range map[string]*sketch.Sketch{"throughput": c.Throughput, "qoe_proxy": c.QoEProxy} {
+		if s == nil {
+			return fmt.Errorf("missing %s sketch", name)
+		}
+		if s.Config() != sketchCfg {
+			return fmt.Errorf("%s sketch geometry %+v, want %+v", name, s.Config(), sketchCfg)
+		}
+		if s.Count() != c.Sessions {
+			return fmt.Errorf("%s sketch holds %d samples for %d sessions", name, s.Count(), c.Sessions)
+		}
+	}
+	return nil
 }
 
 // SaveFile checkpoints the rollup to path atomically (write-temp-rename via

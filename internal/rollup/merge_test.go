@@ -1,0 +1,272 @@
+package rollup
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"gamelens/internal/qoe"
+	"gamelens/internal/trace"
+)
+
+// mergeEntries synthesizes a deterministic multi-subscriber entry stream
+// spanning most of a window: n sessions across subs subscribers, varied
+// titles/patterns/levels/throughput.
+func mergeEntries(n, subs int) []Entry {
+	titles := []string{"Fortnite", "Hearthstone", "", "Rocket League", ""}
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e := entry(i%subs, time.Duration(i)*90*time.Second, titles[i%len(titles)], qoe.Level(i%3))
+		e.MeanDownMbps = 2 + float64(i%40)
+		e.QoEProxy = float64(i%11) / 10
+		e.Objective = qoe.Level((i + 1) % 3)
+		e.Evicted = i%7 == 0
+		out = append(out, e)
+	}
+	return out
+}
+
+func snapshotOf(t *testing.T, r *Rollup) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergePartitionedTaps is the property the fleet view stands on: for
+// any partition of the subscriber population across taps, checkpointing
+// each tap and merging reproduces the single-tap rollup byte-for-byte —
+// through a full checkpoint round trip, as cmd/rollupmerge does it.
+func TestMergePartitionedTaps(t *testing.T) {
+	cfg := Config{Window: 4 * time.Hour, Buckets: 8}
+	entries := mergeEntries(120, 9)
+	single := New(cfg)
+	for _, e := range entries {
+		single.Observe(e)
+	}
+	want := snapshotOf(t, single)
+
+	// Several partition shapes: 2 taps by parity, 3 taps round-robin, and
+	// a lopsided 1-vs-rest split.
+	partitions := []func(sub int) int{
+		func(sub int) int { return sub % 2 },
+		func(sub int) int { return sub % 3 },
+		func(sub int) int {
+			if sub == 0 {
+				return 0
+			}
+			return 1
+		},
+	}
+	for pi, part := range partitions {
+		t.Run(fmt.Sprintf("partition%d", pi), func(t *testing.T) {
+			taps := make(map[int]*Rollup)
+			for i, e := range entries {
+				ti := part(i % 9) // subscriber index of entry i
+				if taps[ti] == nil {
+					taps[ti] = New(cfg)
+				}
+				taps[ti].Observe(e)
+			}
+			// Round-trip every tap through its checkpoint, then fold into
+			// the first — the CLI's exact shape.
+			var fleet *Rollup
+			for ti := 0; ti < len(taps); ti++ {
+				restored, err := Restore(bytes.NewReader(snapshotOf(t, taps[ti])))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fleet == nil {
+					fleet = restored
+					continue
+				}
+				if err := fleet.Merge(restored); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := snapshotOf(t, fleet)
+			if !bytes.Equal(want, got) {
+				t.Errorf("merged fleet view differs from single-tap run:\n%s\nvs\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestMergeOverlappingSubscribers pins the defined overlap semantics: a
+// subscriber seen by both taps aggregates the union-sum of both taps'
+// sessions, cell-wise per bucket — counts, stage minutes and sketches
+// alike.
+func TestMergeOverlappingSubscribers(t *testing.T) {
+	cfg := Config{Window: time.Hour, Buckets: 6}
+	a, b := New(cfg), New(cfg)
+
+	// Subscriber 1 splits across both taps (same bucket and different
+	// buckets); subscriber 2 is tap-B only.
+	e1 := entry(1, time.Minute, "Fortnite", qoe.Good)
+	e1.MeanDownMbps, e1.QoEProxy = 10, 0.9
+	e2 := entry(1, 2*time.Minute, "Hearthstone", qoe.Bad)
+	e2.MeanDownMbps, e2.QoEProxy = 30, 0.1
+	e3 := entry(1, 25*time.Minute, "Fortnite", qoe.Medium)
+	e3.MeanDownMbps, e3.QoEProxy = 20, 0.5
+	a.Observe(e1)
+	b.Observe(e2)
+	b.Observe(e3)
+	b.Observe(entry(2, 30*time.Minute, "Dota 2", qoe.Good))
+
+	// The reference: one rollup that saw everything.
+	whole := New(cfg)
+	for _, e := range []Entry{e1, e2, e3, entry(2, 30*time.Minute, "Dota 2", qoe.Good)} {
+		whole.Observe(e)
+	}
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshotOf(t, a), snapshotOf(t, whole); !bytes.Equal(got, want) {
+		t.Errorf("overlap merge differs from union rollup:\n%s\nvs\n%s", got, want)
+	}
+	aggs := a.Subscribers()
+	if len(aggs) != 2 {
+		t.Fatalf("%d subscribers after merge, want 2", len(aggs))
+	}
+	w := aggs[0].Window
+	if w.Sessions != 3 || w.Titles["Fortnite"] != 2 || w.Titles["Hearthstone"] != 1 {
+		t.Errorf("overlapping subscriber window wrong: %+v", w)
+	}
+	if got := w.Throughput.Count(); got != 3 {
+		t.Errorf("merged throughput sketch holds %d samples, want 3", got)
+	}
+	// Tap b keeps working independently after the merge (deep copies).
+	b.Observe(entry(2, 31*time.Minute, "Dota 2", qoe.Good))
+	if got := a.Total().Sessions; got != 4 {
+		t.Errorf("merge aliased tap state: fleet sessions = %d, want 4", got)
+	}
+}
+
+// TestMergeClockSkew pins the window semantics across taps whose clocks
+// are skewed by more than a window: the merged clock is the max, buckets
+// that aged out of the merged window prune silently (exactly as a single
+// tap's own advancing clock prunes them — never into Stats.Late, so the
+// merged checkpoint stays byte-identical to the single-tap run), and the
+// merge is direction-symmetric.
+func TestMergeClockSkew(t *testing.T) {
+	cfg := Config{Window: time.Hour, Buckets: 6}
+	early := entry(1, 0, "Fortnite", qoe.Good)        // bucket well in the past
+	lateE := entry(2, 3*time.Hour, "Dota 2", qoe.Bad) // 3h ahead: ages the window past early
+	old, fresh := New(cfg), New(cfg)
+	old.Observe(early)
+	fresh.Observe(lateE)
+
+	// The single tap that saw both, in time order: the early bucket ages
+	// out silently as the clock advances.
+	single := New(cfg)
+	single.Observe(early)
+	single.Observe(lateE)
+
+	if err := fresh.Merge(old); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Clock(); !got.Equal(base.Add(3 * time.Hour)) {
+		t.Errorf("merged clock = %v, want the newer tap's", got)
+	}
+	st := fresh.Stats()
+	if st.Ingested != 2 || st.Late != 0 {
+		t.Errorf("merged stats = %+v, want 2 ingested / 0 late (aged-out buckets prune silently)", st)
+	}
+	if got := fresh.Total().Sessions; got != 1 {
+		t.Errorf("merged window sessions = %d, want 1 (the old bucket aged out)", got)
+	}
+	if got, want := snapshotOf(t, fresh), snapshotOf(t, single); !bytes.Equal(got, want) {
+		t.Errorf("skewed merge differs from the single-tap run:\n%s\nvs\n%s", got, want)
+	}
+
+	// The same merge the other way reaches the identical state (the old
+	// tap's own window slides under the new clock).
+	old2, fresh2 := New(cfg), New(cfg)
+	old2.Observe(early)
+	fresh2.Observe(lateE)
+	if err := old2.Merge(fresh2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapshotOf(t, old2), snapshotOf(t, fresh); !bytes.Equal(got, want) {
+		t.Errorf("merge is direction-sensitive:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestMergeRejects pins the error paths: self-merge and window-geometry
+// mismatch refuse rather than aggregate wrong.
+func TestMergeRejects(t *testing.T) {
+	r := New(Config{Window: time.Hour, Buckets: 6})
+	if err := r.Merge(r); err == nil {
+		t.Error("self-merge accepted")
+	}
+	for _, other := range []Config{
+		{Window: 2 * time.Hour, Buckets: 6},
+		{Window: time.Hour, Buckets: 12},
+	} {
+		if err := r.Merge(New(other)); err == nil {
+			t.Errorf("geometry mismatch %+v accepted", other)
+		}
+	}
+}
+
+// TestCountsMergeAllFields pins Counts.merge field by field — the window
+// summation and the fleet fold both ride on it, so a field forgotten here
+// silently under-reports.
+func TestCountsMergeAllFields(t *testing.T) {
+	mk := func(sub int, title string, evicted bool, obj, eff qoe.Level, mbps, proxy float64) Counts {
+		e := entry(sub, time.Minute, title, eff)
+		e.Evicted = evicted
+		e.Objective = obj
+		e.MeanDownMbps = mbps
+		e.QoEProxy = proxy
+		var c Counts
+		c.add(e)
+		return c
+	}
+	a := mk(1, "Fortnite", true, qoe.Good, qoe.Good, 10, 0.8)
+	b := mk(2, "", false, qoe.Level(-1), qoe.Level(9), 30, 0.2) // pattern path + unknown levels
+	nameless := entry(3, time.Minute, "", qoe.Good)
+	nameless.Pattern = ""
+	var c Counts
+	c.add(nameless)
+
+	var sum Counts
+	for _, o := range []Counts{a, b, c} {
+		sum.merge(&o)
+	}
+	if sum.Sessions != 3 || sum.Evicted != 1 || sum.Unknown != 1 {
+		t.Errorf("sessions/evicted/unknown = %d/%d/%d, want 3/1/1", sum.Sessions, sum.Evicted, sum.Unknown)
+	}
+	if sum.Titles["Fortnite"] != 1 || sum.Patterns["continuous"] != 1 {
+		t.Errorf("title/pattern maps wrong: %v / %v", sum.Titles, sum.Patterns)
+	}
+	if sum.ObjectiveUnknown != 1 || sum.EffectiveUnknown != 1 {
+		t.Errorf("unknown level counters = %d/%d, want 1/1", sum.ObjectiveUnknown, sum.EffectiveUnknown)
+	}
+	// a graded Good/Good; c's entry carries the helper's Medium objective
+	// and Good effective; b's levels were out of range on both axes.
+	if sum.Objective[qoe.Good] != 1 || sum.Objective[qoe.Medium] != 1 || sum.Effective[qoe.Good] != 2 {
+		t.Errorf("graded level counts wrong: %v / %v", sum.Objective, sum.Effective)
+	}
+	// entry() adds 5 active + 1.5 idle minutes and 10+sub Mbps per session.
+	if got := sum.StageMinutes[trace.StageActive]; got != 15 {
+		t.Errorf("active minutes = %v, want 15", got)
+	}
+	if got := sum.MbpsSum; got != 10+30+13 {
+		t.Errorf("MbpsSum = %v, want 53", got)
+	}
+	if got := sum.Throughput.Count(); got != 3 {
+		t.Errorf("merged throughput sketch holds %d, want 3", got)
+	}
+	if got := sum.QoEProxy.Count(); got != 3 {
+		t.Errorf("merged proxy sketch holds %d, want 3", got)
+	}
+	// The sources must be untouched (merge reads, never adopts).
+	if a.Sessions != 1 || b.Throughput.Count() != 1 {
+		t.Error("merge mutated a source aggregate")
+	}
+}

@@ -1,7 +1,8 @@
 // Package rollup maintains the per-subscriber sliding-window aggregates the
 // paper's §5 operator dashboards watch: session counts, per-title share,
-// per-stage minutes, and the objective-vs-effective QoE mix, keyed by the
-// subscriber (client) address on the access side of each streaming flow.
+// per-stage minutes, the objective-vs-effective QoE mix, and per-subscriber
+// throughput and QoE-proxy percentile sketches, keyed by the subscriber
+// (client) address on the access side of each streaming flow.
 //
 // It consumes the report stream the flow lifecycle already produces — every
 // core.SessionReport emitted through a ReportSink, whether by TTL eviction
@@ -20,12 +21,30 @@
 // capture span can differ run-to-run only in which horizon-straddling
 // entries were late (counted in Stats.Late).
 //
+// # Drill-down percentiles
+//
+// Beyond the additive sums, every window bucket carries two quantile
+// sketches (internal/sketch: deterministic fixed-centroid layout, 5%
+// relative accuracy over [0.001, 100000]): the per-session mean downstream
+// Mbps, and the continuous QoE proxy (Entry.QoEProxy, the mean graded-slot
+// effective level in [0, 1]). Because the sketches aggregate by pure
+// cell-wise addition exactly like every other Counts field, they inherit
+// all the window invariants — order-independence, byte-identical
+// checkpoints across engine shard counts, exact multi-monitor merge — and
+// sketch insertion is allocation-free once a bucket is warm, so
+// Rollup.Observe's steady state stays at 0 allocs/op. Query them with
+// Counts.ThroughputPercentiles and Counts.QoEProxyPercentiles (p50/p90/p99)
+// or Counts.ThroughputQuantile / QoEProxyQuantile for arbitrary marks.
+//
 // The whole window state round-trips through a canonical JSON checkpoint
 // (Snapshot/Restore): a restarted monitor resumes the day's aggregations
 // exactly where the last checkpoint left them instead of losing the window.
+// Checkpoints from multiple monitoring taps fold into one fleet view with
+// Merge (see merge.go and cmd/rollupmerge).
 package rollup
 
 import (
+	"math"
 	"net/netip"
 	"sort"
 	"sync"
@@ -34,8 +53,17 @@ import (
 	"gamelens/internal/core"
 	"gamelens/internal/flowdetect"
 	"gamelens/internal/qoe"
+	"gamelens/internal/sketch"
 	"gamelens/internal/trace"
 )
+
+// sketchCfg is the one fixed geometry every rollup sketch uses: 5% relative
+// accuracy over [1e-3, 1e5], covering lobby-grade kbps through
+// multi-gigabit Mbps and the [0, 1] QoE proxy alike (~185 centroids,
+// ~1.5 KB per warm sketch). One package-wide geometry means any two rollup
+// sketches are mergeable by construction; Restore rejects checkpoints
+// sketched with any other geometry.
+var sketchCfg = sketch.Config{Alpha: 0.05, Min: 1e-3, Max: 1e5}
 
 // Config sizes the sliding window.
 type Config struct {
@@ -91,6 +119,10 @@ type Entry struct {
 	// Objective and Effective are the session QoE grades.
 	Objective qoe.Level
 	Effective qoe.Level
+	// QoEProxy is the session's continuous experience score in [0, 1]
+	// (core.SessionReport.EffectiveScore: the mean graded-slot effective
+	// level), sketched per bucket for the percentile drill-down views.
+	QoEProxy float64
 	// Evicted marks sessions finalized by TTL eviction rather than Finish.
 	Evicted bool
 }
@@ -117,6 +149,7 @@ func FromReport(r *core.SessionReport) Entry {
 		MeanDownMbps: r.MeanDownMbps,
 		Objective:    r.Objective,
 		Effective:    r.Effective,
+		QoEProxy:     r.EffectiveScore,
 		Evicted:      r.Evicted,
 	}
 	if e.End.IsZero() {
@@ -140,9 +173,12 @@ type Counts struct {
 	Sessions int64 `json:"sessions"`
 	Evicted  int64 `json:"evicted,omitempty"`
 	// Titles counts sessions per classified catalog title; Patterns counts
-	// the unknown-title sessions per inferred gameplay pattern.
+	// the unknown-title sessions per inferred gameplay pattern; Unknown
+	// counts sessions with neither (so Titles + Patterns + Unknown always
+	// sums to Sessions and dashboard shares add up).
 	Titles   map[string]int64 `json:"titles,omitempty"`
 	Patterns map[string]int64 `json:"patterns,omitempty"`
+	Unknown  int64            `json:"unknown,omitempty"`
 	// StageMinutes sums classified per-stage minutes, indexed by
 	// trace.Stage.
 	StageMinutes [trace.NumStages]float64 `json:"stage_minutes"`
@@ -150,9 +186,31 @@ type Counts struct {
 	// for the mean; see MeanDownMbps).
 	MbpsSum float64 `json:"mbps_sum"`
 	// Objective and Effective count sessions per QoE level, indexed by
-	// qoe.Level.
-	Objective [qoe.NumLevels]int64 `json:"objective"`
-	Effective [qoe.NumLevels]int64 `json:"effective"`
+	// qoe.Level; the Unknown counterparts hold sessions whose level was
+	// outside [0, qoe.NumLevels), so each axis also sums to Sessions.
+	Objective        [qoe.NumLevels]int64 `json:"objective"`
+	Effective        [qoe.NumLevels]int64 `json:"effective"`
+	ObjectiveUnknown int64                `json:"objective_unknown,omitempty"`
+	EffectiveUnknown int64                `json:"effective_unknown,omitempty"`
+	// Throughput and QoEProxy are the drill-down percentile sketches: the
+	// distribution of per-session MeanDownMbps and of the [0, 1] QoE proxy
+	// across the bucket's sessions (see the package comment's drill-down
+	// section for accuracy bounds). Nil only on a Counts that never
+	// absorbed an entry.
+	Throughput *sketch.Sketch `json:"throughput,omitempty"`
+	QoEProxy   *sketch.Sketch `json:"qoe_proxy,omitempty"`
+}
+
+// finiteOrZero guards the float sums: one NaN or infinite measurement
+// must not poison a sum forever — and the canonical JSON checkpoint
+// cannot encode non-finite values at all, so a poisoned sum would make
+// Snapshot itself fail. (The sketches handle the same inputs themselves:
+// NaN joins the exact-zero centroid, ±Inf clamps into an edge centroid.)
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // add folds one entry in.
@@ -161,30 +219,47 @@ func (c *Counts) add(e Entry) {
 	if e.Evicted {
 		c.Evicted++
 	}
-	if e.Title != "" {
+	switch {
+	case e.Title != "":
 		if c.Titles == nil {
 			c.Titles = make(map[string]int64)
 		}
 		c.Titles[e.Title]++
-	} else if e.Pattern != "" {
+	case e.Pattern != "":
 		if c.Patterns == nil {
 			c.Patterns = make(map[string]int64)
 		}
 		c.Patterns[e.Pattern]++
+	default:
+		c.Unknown++
 	}
 	for st, m := range e.StageMinutes {
-		c.StageMinutes[st] += m
+		c.StageMinutes[st] += finiteOrZero(m)
 	}
-	c.MbpsSum += e.MeanDownMbps
+	c.MbpsSum += finiteOrZero(e.MeanDownMbps)
 	if e.Objective >= 0 && int(e.Objective) < qoe.NumLevels {
 		c.Objective[e.Objective]++
+	} else {
+		c.ObjectiveUnknown++
 	}
 	if e.Effective >= 0 && int(e.Effective) < qoe.NumLevels {
 		c.Effective[e.Effective]++
+	} else {
+		c.EffectiveUnknown++
 	}
+	if c.Throughput == nil {
+		c.Throughput = sketch.New(sketchCfg)
+	}
+	c.Throughput.Add(e.MeanDownMbps)
+	if c.QoEProxy == nil {
+		c.QoEProxy = sketch.New(sketchCfg)
+	}
+	c.QoEProxy.Add(e.QoEProxy)
 }
 
-// merge folds another aggregate in (window summation over buckets).
+// merge folds another aggregate in (window summation over buckets, and the
+// fleet-view fold of Rollup.Merge). Sketch geometry is uniform package-wide
+// (Restore enforces sketchCfg), so the sketch merges cannot mismatch.
 func (c *Counts) merge(o *Counts) {
 	c.Sessions += o.Sessions
 	c.Evicted += o.Evicted
@@ -200,6 +275,7 @@ func (c *Counts) merge(o *Counts) {
 		}
 		c.Patterns[k] += n
 	}
+	c.Unknown += o.Unknown
 	for st := range o.StageMinutes {
 		c.StageMinutes[st] += o.StageMinutes[st]
 	}
@@ -208,6 +284,101 @@ func (c *Counts) merge(o *Counts) {
 		c.Objective[l] += o.Objective[l]
 		c.Effective[l] += o.Effective[l]
 	}
+	c.ObjectiveUnknown += o.ObjectiveUnknown
+	c.EffectiveUnknown += o.EffectiveUnknown
+	if o.Throughput != nil {
+		if c.Throughput == nil {
+			c.Throughput = sketch.New(sketchCfg)
+		}
+		c.Throughput.Merge(o.Throughput)
+	}
+	if o.QoEProxy != nil {
+		if c.QoEProxy == nil {
+			c.QoEProxy = sketch.New(sketchCfg)
+		}
+		c.QoEProxy.Merge(o.QoEProxy)
+	}
+}
+
+// clone returns an independent deep copy (maps and sketches included), for
+// folds that must not alias the source rollup's state.
+func (c *Counts) clone() Counts {
+	out := *c
+	if c.Titles != nil {
+		out.Titles = make(map[string]int64, len(c.Titles))
+		for k, n := range c.Titles {
+			out.Titles[k] = n
+		}
+	}
+	if c.Patterns != nil {
+		out.Patterns = make(map[string]int64, len(c.Patterns))
+		for k, n := range c.Patterns {
+			out.Patterns[k] = n
+		}
+	}
+	if c.Throughput != nil {
+		out.Throughput = c.Throughput.Clone()
+	}
+	if c.QoEProxy != nil {
+		out.QoEProxy = c.QoEProxy.Clone()
+	}
+	return out
+}
+
+// Percentiles summarizes a sketched distribution at the dashboard's three
+// marks.
+type Percentiles struct {
+	P50, P90, P99 float64
+}
+
+// percentilesOf reads the marks off one sketch (zeros when no sessions have
+// been sketched).
+func percentilesOf(s *sketch.Sketch) Percentiles {
+	if s == nil {
+		return Percentiles{}
+	}
+	return Percentiles{P50: s.Quantile(0.5), P90: s.Quantile(0.9), P99: s.Quantile(0.99)}
+}
+
+// ThroughputPercentiles returns the p50/p90/p99 of per-session mean
+// downstream Mbps across the aggregate's sessions, within the sketch
+// accuracy bound (5% relative error).
+func (c *Counts) ThroughputPercentiles() Percentiles { return percentilesOf(c.Throughput) }
+
+// clamp01 caps a QoE-proxy quantile at 1: the metric is defined on [0, 1],
+// but a session scoring exactly 1.0 lands in a centroid whose
+// representative sits up to Alpha above it — the sketch's generic accuracy
+// contract must not leak an impossible score onto a dashboard.
+func clamp01(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// QoEProxyPercentiles returns the p50/p90/p99 of the continuous [0, 1] QoE
+// proxy across the aggregate's sessions (clamped to the metric's range).
+func (c *Counts) QoEProxyPercentiles() Percentiles {
+	p := percentilesOf(c.QoEProxy)
+	return Percentiles{P50: clamp01(p.P50), P90: clamp01(p.P90), P99: clamp01(p.P99)}
+}
+
+// ThroughputQuantile returns an arbitrary quantile (q in [0, 1]) of
+// per-session mean downstream Mbps; 0 when the aggregate is empty.
+func (c *Counts) ThroughputQuantile(q float64) float64 {
+	if c.Throughput == nil {
+		return 0
+	}
+	return c.Throughput.Quantile(q)
+}
+
+// QoEProxyQuantile returns an arbitrary quantile of the [0, 1] QoE proxy
+// (clamped to the metric's range).
+func (c *Counts) QoEProxyQuantile(q float64) float64 {
+	if c.QoEProxy == nil {
+		return 0
+	}
+	return clamp01(c.QoEProxy.Quantile(q))
 }
 
 // MeanDownMbps returns the mean of the per-session throughput means.
@@ -230,9 +401,16 @@ func (c *Counts) GoodShare(effective bool) float64 {
 	return float64(c.Objective[qoe.Good]) / float64(c.Sessions)
 }
 
+// noBucket marks a ring slot that has never been written. Real bucket
+// numbers can be negative — synthetic captures may start before the Unix
+// epoch, and floorDiv keeps the numbering monotonic across it — so -1 is
+// not a safe sentinel; math.MinInt64 corresponds to a packet time no
+// time.Time can even represent.
+const noBucket = math.MinInt64
+
 // bucket is one ring slot: the absolute bucket number it currently holds
-// (end-time nanos / width, floored) and that span's aggregate. idx -1 marks
-// a slot that has never been written.
+// (end-time nanos / width, floored) and that span's aggregate. idx noBucket
+// marks a slot that has never been written.
 type bucket struct {
 	idx    int64
 	counts Counts
@@ -246,7 +424,7 @@ type subscriber struct {
 func newSubscriber(buckets int) *subscriber {
 	s := &subscriber{ring: make([]bucket, buckets)}
 	for i := range s.ring {
-		s.ring[i].idx = -1
+		s.ring[i].idx = noBucket
 	}
 	return s
 }
@@ -286,8 +464,9 @@ type Stats struct {
 	// Ingested counts entries folded into the window since the start of
 	// the run (checkpoints carry it across restarts).
 	Ingested int64
-	// Late counts entries dropped because their end time had already aged
-	// out of the window (or carried an invalid subscriber address).
+	// Late counts entries dropped at Observe: end time already aged out of
+	// the window, an invalid subscriber address, or an unstamped (zero)
+	// End.
 	Late int64
 }
 
@@ -354,7 +533,12 @@ func (r *Rollup) advanceLocked(ns int64) {
 func (r *Rollup) Observe(e Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if !e.Subscriber.IsValid() {
+	// An invalid subscriber or an unstamped End cannot be bucketed: a zero
+	// instant's UnixNano is not even representable, and letting it move the
+	// clock would park the window in year 1677 (the same hazard Advance
+	// guards against). FromReport stamps End from the flow's last-seen
+	// time, so only hand-built entries can hit this.
+	if !e.Subscriber.IsValid() || e.End.IsZero() {
 		r.late++
 		return
 	}
@@ -387,8 +571,14 @@ func (r *Rollup) Observe(e Entry) {
 // Advance pushes the window clock to now (a packet-time instant) without
 // ingesting anything: buckets older than the slid window stop contributing
 // to queries and snapshots. Monitors call it alongside Engine.ExpireIdle so
-// the dashboard ages out even when no sessions are finishing.
+// the dashboard ages out even when no sessions are finishing. A zero
+// instant is ignored — its UnixNano is not even representable, and an
+// unstamped timestamp must not move a clock that pre-epoch capture times
+// legitimately hold below zero.
 func (r *Rollup) Advance(now time.Time) {
+	if now.IsZero() {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.advanceLocked(now.UnixNano())
@@ -419,7 +609,7 @@ func (r *Rollup) Subscribers() []Aggregate {
 		agg := Aggregate{Subscriber: addr}
 		for i := range sub.ring {
 			b := &sub.ring[i]
-			if b.idx >= 0 && r.liveLocked(b.idx) {
+			if b.idx != noBucket && r.liveLocked(b.idx) {
 				agg.Window.merge(&b.counts)
 			}
 		}
@@ -442,7 +632,7 @@ func (r *Rollup) Total() Counts {
 	for _, sub := range r.subs {
 		for i := range sub.ring {
 			b := &sub.ring[i]
-			if b.idx >= 0 && r.liveLocked(b.idx) {
+			if b.idx != noBucket && r.liveLocked(b.idx) {
 				total.merge(&b.counts)
 			}
 		}

@@ -2,6 +2,7 @@ package rollup
 
 import (
 	"bytes"
+	"math"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -110,6 +111,20 @@ func TestWindowSlides(t *testing.T) {
 	r.Observe(Entry{End: base.Add(66 * time.Minute)})
 	if st := r.Stats(); st.Late != 2 {
 		t.Errorf("invalid-address entry not counted late: %+v", st)
+	}
+
+	// An unstamped (zero) End is dropped too: its UnixNano is not even
+	// representable, and it must not drag the clock to year 1677.
+	clock := r.Clock()
+	r.Observe(entry(1, -66*time.Minute, "Fortnite", qoe.Good)) // warm a valid late path first
+	zeroEnd := entry(1, 0, "Fortnite", qoe.Good)
+	zeroEnd.End = time.Time{}
+	r.Observe(zeroEnd)
+	if st := r.Stats(); st.Late != 4 {
+		t.Errorf("zero-End entry not counted late: %+v", st)
+	}
+	if !r.Clock().Equal(clock) {
+		t.Errorf("zero-End entry moved the clock to %v", r.Clock())
 	}
 }
 
@@ -264,18 +279,245 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointSurvivesNaNMeasurements pins crash recovery against
+// corrupt measurements: an entry with NaN throughput or QoE proxy still
+// adds exactly one sample to each sketch (the zero centroid), so the
+// rollup's own checkpoint always restores — Count == Sessions cannot
+// desynchronize.
+func TestCheckpointSurvivesNaNMeasurements(t *testing.T) {
+	r := New(Config{})
+	e := entry(1, time.Minute, "Fortnite", qoe.Good)
+	e.MeanDownMbps = math.NaN()
+	e.QoEProxy = math.NaN()
+	r.Observe(e)
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("rollup rejected its own checkpoint after a NaN measurement: %v", err)
+	}
+	total := restored.Total()
+	if got := total.ThroughputQuantile(1); got != 0 {
+		t.Errorf("NaN measurement reported as %v, want 0", got)
+	}
+}
+
 func TestRestoreRejectsGarbage(t *testing.T) {
+	// sketches renders valid counts-consistent sketch fields for a
+	// one-session bucket, so each case below fails only for its named
+	// reason.
+	const sketches = `"throughput":{"alpha":0.05,"min":0.001,"max":100000,"centroids":[[100,1]]},` +
+		`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}`
 	for name, doc := range map[string]string{
-		"not json":     "patently not json",
-		"wrong format": `{"format":"gamelens-forest-v1","window_ns":1,"buckets":1}`,
-		"bad geometry": `{"format":"gamelens-rollup-v1","window_ns":0,"buckets":0}`,
-		"bad addr":     `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,"subscribers":[{"addr":"nope","buckets":[]}]}`,
-		"dup slot": `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1}},{"idx":7,"counts":{"sessions":1}}]}]}`,
+		"not json":      "patently not json",
+		"wrong format":  `{"format":"gamelens-forest-v1","window_ns":1,"buckets":1}`,
+		"v1 checkpoint": `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,"subscribers":[]}`,
+		"bad geometry":  `{"format":"gamelens-rollup-v2","window_ns":0,"buckets":0}`,
+		"bad addr":      `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,"subscribers":[{"addr":"nope","buckets":[]}]}`,
+		"dup slot": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` + sketches + `}},{"idx":7,"counts":{"sessions":1,` + sketches + `}}]}]}`,
+		"sentinel idx": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":-9223372036854775808,"counts":{"sessions":1,` + sketches + `}}]}]}`,
+		"zero sessions": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":0,` + sketches + `}}]}]}`,
+		"missing sketch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1}}]}]}`,
+		"alien sketch geometry": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` +
+			`"throughput":{"alpha":0.01,"min":0.001,"max":100000,"zero":1},` +
+			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`,
+		"sketch count mismatch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":2,` + sketches + `}}]}]}`,
+		"corrupt sketch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` +
+			`"throughput":{"alpha":0.05,"min":0.001,"max":100000,"centroids":[[100,1],[50,1]]},` +
+			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`,
 	} {
 		if _, err := Restore(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: Restore accepted invalid checkpoint", name)
 		}
+	}
+	// The valid skeleton the cases above corrupt must itself restore, or
+	// the rejections prove nothing.
+	ok := `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,"clock":"2026-07-01T06:00:00Z","ingested":1,` +
+		`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":82782,"counts":{"sessions":1,"stage_minutes":[0,0,0,0],"mbps_sum":0,"objective":[0,1,0],"effective":[0,1,0],` + sketches + `}}]}]}`
+	if _, err := Restore(strings.NewReader(ok)); err != nil {
+		t.Errorf("valid v2 skeleton rejected: %v", err)
+	}
+}
+
+// TestUnknownBuckets pins the share-accounting fix: sessions with neither
+// title nor pattern, and sessions with out-of-range QoE levels, land in
+// explicit Unknown buckets instead of vanishing, so every share axis still
+// sums to Sessions.
+func TestUnknownBuckets(t *testing.T) {
+	r := New(Config{Window: time.Hour, Buckets: 6})
+	r.Observe(entry(1, 0, "Fortnite", qoe.Good))
+	nameless := entry(1, time.Minute, "", qoe.Good)
+	nameless.Pattern = "" // neither title nor pattern
+	nameless.Objective = qoe.Level(-1)
+	nameless.Effective = qoe.Level(99)
+	r.Observe(nameless)
+
+	w := r.Total()
+	if w.Sessions != 2 {
+		t.Fatalf("sessions = %d, want 2", w.Sessions)
+	}
+	if w.Unknown != 1 {
+		t.Errorf("Unknown = %d, want 1", w.Unknown)
+	}
+	var titled, patterned int64
+	for _, n := range w.Titles {
+		titled += n
+	}
+	for _, n := range w.Patterns {
+		patterned += n
+	}
+	if titled+patterned+w.Unknown != w.Sessions {
+		t.Errorf("title shares do not sum: %d + %d + %d != %d", titled, patterned, w.Unknown, w.Sessions)
+	}
+	var obj, eff int64
+	for l := 0; l < qoe.NumLevels; l++ {
+		obj += w.Objective[l]
+		eff += w.Effective[l]
+	}
+	if obj+w.ObjectiveUnknown != w.Sessions || w.ObjectiveUnknown != 1 {
+		t.Errorf("objective axis does not sum: %d graded + %d unknown vs %d sessions", obj, w.ObjectiveUnknown, w.Sessions)
+	}
+	if eff+w.EffectiveUnknown != w.Sessions || w.EffectiveUnknown != 1 {
+		t.Errorf("effective axis does not sum: %d graded + %d unknown vs %d sessions", eff, w.EffectiveUnknown, w.Sessions)
+	}
+}
+
+// TestWindowPercentiles pins the drill-down sketches end to end: every
+// bucket sketches throughput and the QoE proxy, window queries merge them,
+// and the marks come back within the sketch accuracy bound.
+func TestWindowPercentiles(t *testing.T) {
+	r := New(Config{Window: time.Hour, Buckets: 6})
+	// 100 sessions for one subscriber: Mbps 1..100, proxy i/100.
+	for i := 1; i <= 100; i++ {
+		e := entry(1, time.Duration(i)*20*time.Second, "Fortnite", qoe.Good)
+		e.MeanDownMbps = float64(i)
+		e.QoEProxy = float64(i) / 100
+		r.Observe(e)
+	}
+	aggs := r.Subscribers()
+	if len(aggs) != 1 {
+		t.Fatalf("%d subscribers, want 1", len(aggs))
+	}
+	w := aggs[0].Window
+	if w.Throughput == nil || w.QoEProxy == nil {
+		t.Fatal("window aggregate missing sketches")
+	}
+	if got := w.Throughput.Count(); got != 100 {
+		t.Fatalf("throughput sketch holds %d samples, want 100", got)
+	}
+	p := w.ThroughputPercentiles()
+	for _, chk := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", p.P50, 50}, {"p90", p.P90, 90}, {"p99", p.P99, 99},
+		{"proxy p50", w.QoEProxyPercentiles().P50, 0.5},
+		{"quantile(0.25)", w.ThroughputQuantile(0.25), 25},
+	} {
+		if rel := chk.got/chk.want - 1; rel > 0.05 || rel < -0.05 {
+			t.Errorf("%s = %v, want %v ± 5%%", chk.name, chk.got, chk.want)
+		}
+	}
+	var empty Counts
+	if p := empty.ThroughputPercentiles(); p != (Percentiles{}) {
+		t.Errorf("empty aggregate percentiles = %+v, want zeros", p)
+	}
+
+	// A subscriber whose sessions all score exactly 1.0 must never report
+	// an impossible proxy above 1: the sketch's centroid representative
+	// sits up to alpha above the value, and the query layer clamps it.
+	perfect := New(Config{Window: time.Hour, Buckets: 6})
+	for i := 0; i < 10; i++ {
+		e := entry(1, time.Duration(i)*time.Minute, "Fortnite", qoe.Good)
+		e.QoEProxy = 1
+		perfect.Observe(e)
+	}
+	pw := perfect.Total()
+	if p := pw.QoEProxyPercentiles(); p.P50 != 1 || p.P99 != 1 {
+		t.Errorf("all-perfect proxy percentiles = %+v, want exactly 1", p)
+	}
+	if got := pw.QoEProxyQuantile(0.9); got != 1 {
+		t.Errorf("all-perfect proxy q90 = %v, want exactly 1", got)
+	}
+}
+
+// TestPreEpochTimestamps pins bucket indexing, sliding and checkpointing
+// for captures that start before the Unix epoch (synthetic PCAPs routinely
+// do): floorDiv keeps bucket numbers monotonic across zero, negative
+// indices round-trip through checkpoints, and late-dropping at the epoch
+// boundary behaves exactly as it does anywhere else on the time axis.
+func TestPreEpochTimestamps(t *testing.T) {
+	epoch := time.Unix(0, 0).UTC()
+	cfg := Config{Window: time.Hour, Buckets: 6} // 10-minute buckets
+	r := New(cfg)
+
+	at := func(offset time.Duration, sub int) Entry {
+		e := entry(sub, 0, "Fortnite", qoe.Good)
+		e.End = epoch.Add(offset)
+		return e
+	}
+	// Straddle the epoch: one entry 25 minutes before, one 1 ns before
+	// (bucket -1), one exactly at the epoch (bucket 0), one after.
+	r.Observe(at(-25*time.Minute, 1))
+	r.Observe(at(-time.Nanosecond, 1))
+	r.Observe(at(0, 2))
+	r.Observe(at(9*time.Minute, 2))
+	if st := r.Stats(); st.Ingested != 4 || st.Late != 0 {
+		t.Fatalf("pre-epoch entries mishandled: %+v", st)
+	}
+	if got := r.Total().Sessions; got != 4 {
+		t.Fatalf("window sessions = %d, want 4", got)
+	}
+
+	// The -1ns and +0 entries must land in adjacent buckets, not share
+	// bucket 0 (truncating division would fold -1ns into bucket 0).
+	var buf bytes.Buffer
+	if err := r.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.String()
+	if !strings.Contains(snap, `"idx": -1`) || !strings.Contains(snap, `"idx": 0`) {
+		t.Errorf("epoch-straddling buckets not at indices -1 and 0:\n%s", snap)
+	}
+
+	// Negative indices survive the checkpoint round trip byte-identically.
+	restored, err := Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("restoring pre-epoch checkpoint: %v", err)
+	}
+	var second bytes.Buffer
+	if err := restored.Snapshot(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), second.Bytes()) {
+		t.Errorf("pre-epoch snapshot-restore-snapshot not the identity:\n%s\nvs\n%s", snap, second.String())
+	}
+
+	// Sliding across the epoch ages pre-epoch buckets out normally, and a
+	// late pre-epoch entry is dropped exactly like any other late entry.
+	r.Advance(epoch.Add(36 * time.Minute)) // window now (-24m, 36m]
+	if got := r.Total().Sessions; got != 3 {
+		t.Errorf("after slide: %d sessions, want 3 (the -25m bucket aged out)", got)
+	}
+	r.Observe(at(-30*time.Minute, 1))
+	if st := r.Stats(); st.Late != 1 {
+		t.Errorf("late pre-epoch entry not dropped: %+v", st)
+	}
+	// A zero-instant Advance is ignored (its UnixNano is unrepresentable),
+	// not treated as a year-one clock.
+	clock := r.Clock()
+	r.Advance(time.Time{})
+	if !r.Clock().Equal(clock) {
+		t.Errorf("zero-instant Advance moved the clock to %v", r.Clock())
 	}
 }
 
@@ -283,12 +525,13 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 // unknown (long-tail), pattern inferred, ended at end.
 func reportFor(f *flowdetect.Flow, end time.Time) *core.SessionReport {
 	r := &core.SessionReport{
-		Flow:         f,
-		Pattern:      stageclass.PatternResult{Pattern: gamesim.ContinuousPlay},
-		MeanDownMbps: 14,
-		Objective:    qoe.Medium,
-		Effective:    qoe.Good,
-		End:          end,
+		Flow:           f,
+		Pattern:        stageclass.PatternResult{Pattern: gamesim.ContinuousPlay},
+		MeanDownMbps:   14,
+		Objective:      qoe.Medium,
+		Effective:      qoe.Good,
+		EffectiveScore: 0.75,
+		End:            end,
 	}
 	r.StageMinutes[trace.StageActive] = 4
 	return r
@@ -323,5 +566,8 @@ func TestFromReport(t *testing.T) {
 	}
 	if e.Title != "" || e.Pattern == "" {
 		t.Errorf("unknown title must group by pattern, got title=%q pattern=%q", e.Title, e.Pattern)
+	}
+	if e.QoEProxy != 0.75 {
+		t.Errorf("QoEProxy = %v, want the report's EffectiveScore 0.75", e.QoEProxy)
 	}
 }
