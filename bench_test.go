@@ -40,7 +40,7 @@ var (
 	benchField      *experiments.FieldRun
 )
 
-func corpus(b *testing.B) *experiments.Corpus {
+func corpus(b testing.TB) *experiments.Corpus {
 	b.Helper()
 	benchCorpusOnce.Do(func() {
 		benchCorpus = experiments.NewCorpus(benchOptions())
@@ -252,7 +252,7 @@ var (
 
 // engineModels trains deployment-style models on the cached benchmark
 // corpus once.
-func engineModels(b *testing.B) *Models {
+func engineModels(b testing.TB) *Models {
 	b.Helper()
 	c := corpus(b)
 	benchModelsOnce.Do(func() {
@@ -278,7 +278,7 @@ func engineModels(b *testing.B) *Models {
 
 // engineStream expands a multi-flow capture once from the cached corpus's
 // held-out sessions.
-func engineStream(b *testing.B) *gamesim.PacketStream {
+func engineStream(b testing.TB) *gamesim.PacketStream {
 	b.Helper()
 	c := corpus(b)
 	benchStreamOnce.Do(func() {
@@ -292,18 +292,21 @@ func engineStream(b *testing.B) *gamesim.PacketStream {
 	return benchStream
 }
 
-// replayParallel feeds each flow from its own goroutine — the engine's
-// intended deployment shape (one reader per capture port / RSS queue),
-// where per-flow arrival order is preserved but flows interleave freely.
-func replayParallel(b *testing.B, st *gamesim.PacketStream, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) {
+// replayParallel feeds each flow from its own goroutine holding its own
+// EngineProducer — the engine's intended deployment shape (one reader per
+// capture port / RSS queue), where per-flow arrival order is preserved but
+// flows interleave freely. Frames go in raw (Producer.HandleFrame): the
+// reader's per-packet work is a five-tuple peek plus one copy into the
+// shard-bound arena, and decode runs on the shard worker's core.
+func replayParallel(st *gamesim.PacketStream, eng *Engine) {
 	var wg sync.WaitGroup
 	for i := range st.Flows {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := st.ReplayOne(i, handle); err != nil {
-				b.Error(err)
-			}
+			p := eng.Producer()
+			defer p.Close()
+			st.ReplayOneFrames(i, p.HandleFrame)
 		}(i)
 	}
 	wg.Wait()
@@ -516,11 +519,14 @@ func BenchmarkPipelineEviction(b *testing.B) {
 
 // BenchmarkEngineShards replays the same multi-flow capture through the
 // plain single-threaded pipeline (one reader goroutine — the only shape it
-// supports) and through the sharded engine at 1..8 shards fed by one reader
-// per flow. pkts/s counts packets analyzed per wall second. With a single
-// reader the workload is ingest-bound (frame build + decode dominate the
-// per-packet analysis cost), which is exactly why the engine exists: it
-// lets both the readers and the analysis spread across cores.
+// supports) and through the sharded engine at 1..8 shards fed by one
+// reader per flow, each with its own lock-free EngineProducer on the raw
+// frame path (decode runs on the shard workers). pkts/s counts packets
+// analyzed per wall second. With a single reader the workload is
+// ingest-bound (frame build + decode dominate the per-packet analysis
+// cost), which is exactly why the engine exists: it lets both the readers
+// and the analysis spread across cores. The scalegate smoke in `make
+// check` guards the monotonicity of this curve.
 func BenchmarkEngineShards(b *testing.B) {
 	m := engineModels(b)
 	st := engineStream(b)
@@ -551,7 +557,7 @@ func BenchmarkEngineShards(b *testing.B) {
 		b.Run(fmt.Sprint(shards), func(b *testing.B) {
 			run(b, func() int {
 				eng := NewEngine(EngineConfig{Shards: shards}, m)
-				replayParallel(b, st, eng.HandlePacket)
+				replayParallel(st, eng)
 				return len(eng.Finish())
 			})
 		})

@@ -7,11 +7,18 @@
 // one JSON object to the -o file: benchmark name (GOMAXPROCS suffix
 // stripped) → metric name → value, covering the standard ns/op, B/op and
 // allocs/op columns plus any custom b.ReportMetric units (pkts/s, ns/pkt,
-// live_flows, …). Keys are sorted, so the file diffs cleanly across runs.
+// live_flows, …). When `-count N` repeats a benchmark, the run with the
+// lowest ns/op wins and all its metrics are kept together — min-of-N is
+// the standard noise filter for throughput benchmarks (the fastest run is
+// the least scheduler-disturbed one), and keeping one coherent row avoids
+// mixing metrics from different runs. A `_meta` entry records the
+// gomaxprocs and num_cpu the suite ran under, so a BENCH_N.json states the
+// parallelism its shard-scaling numbers are conditional on. Keys are
+// sorted, so the file diffs cleanly across runs.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_4.json
+//	go test -run '^$' -bench . -benchmem -count 3 . | benchjson -o BENCH_6.json
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -28,7 +36,12 @@ func main() {
 	out := flag.String("o", "", "write the JSON document to this file (stdout when empty)")
 	flag.Parse()
 
-	results := make(map[string]map[string]float64)
+	results := map[string]map[string]float64{
+		"_meta": {
+			"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+			"num_cpu":    float64(runtime.NumCPU()),
+		},
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -60,7 +73,9 @@ func main() {
 }
 
 // parseLine folds one "BenchmarkName-N  iters  v unit  v unit ..." result
-// row into results; anything else is ignored.
+// row into results; anything else is ignored. A repeated name (from
+// -count) only replaces the stored row when the new run's ns/op is lower:
+// best-of-N, atomically per row.
 func parseLine(line string, results map[string]map[string]float64) {
 	if !strings.HasPrefix(line, "Benchmark") {
 		return
@@ -79,12 +94,7 @@ func parseLine(line string, results map[string]map[string]float64) {
 			name = name[:i] // strip the -GOMAXPROCS suffix
 		}
 	}
-	r := results[name]
-	if r == nil {
-		r = make(map[string]float64)
-		results[name] = r
-	}
-	r["iterations"] = iters
+	r := map[string]float64{"iterations": iters}
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
@@ -92,4 +102,12 @@ func parseLine(line string, results map[string]map[string]float64) {
 		}
 		r[f[i+1]] = v
 	}
+	if prev, ok := results[name]; ok {
+		prevNs, prevHas := prev["ns/op"]
+		ns, has := r["ns/op"]
+		if prevHas && has && ns >= prevNs {
+			return // keep the faster run's whole row
+		}
+	}
+	results[name] = r
 }

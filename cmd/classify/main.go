@@ -4,8 +4,12 @@
 // activity pattern, and reports objective vs effective QoE per flow.
 //
 // Analysis runs on the sharded multi-core engine: flows are hash-partitioned
-// across -shards worker pipelines (default: all cores), so large captures
-// with many concurrent flows decode on one core and analyze on the rest.
+// across -shards worker pipelines (default: all cores). The reader hands
+// raw frames to an engine producer, which peeks only the five-tuple and
+// ships the bytes to the owning shard over a lock-free ring, so decode and
+// analysis both run on the shard cores and the reader does nothing but
+// read. Frames that fail to decode are counted (and reported at end of
+// run), not analyzed.
 //
 // Models are trained on startup from the built-in traffic substrate with
 // -train-seed (or loaded with -title-model if a trained forest was exported
@@ -47,7 +51,6 @@ import (
 	"time"
 
 	"gamelens"
-	"gamelens/internal/packet"
 	"gamelens/internal/pcapio"
 	"gamelens/internal/titleclass"
 	"gamelens/internal/trace"
@@ -151,7 +154,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var dec packet.Decoded
+	// One reader goroutine, one producer handle: frames go to their shard
+	// raw, and the shard worker decodes them.
+	p := eng.Producer()
 	frames := 0
 	for {
 		rec, err := r.Next()
@@ -162,16 +167,14 @@ func main() {
 			log.Fatalf("frame %d: %v", frames, err)
 		}
 		frames++
-		if err := packet.Decode(rec.Data, &dec); err != nil {
-			continue
-		}
-		eng.HandlePacket(rec.Timestamp, &dec, dec.Payload)
+		p.HandleFrame(rec.Timestamp, rec.Data)
 	}
+	p.Close()
 
 	reports := eng.Finish()
 	stats := eng.Stats()
-	log.Printf("processed %d frames on %d shards (%d gaming flows, %d evicted by TTL)",
-		frames, stats.Shards, stats.Flows(), stats.EvictedFlows)
+	log.Printf("processed %d frames on %d shards (%d gaming flows, %d evicted by TTL, %d undecodable)",
+		frames, stats.Shards, stats.Flows(), stats.EvictedFlows, stats.DecodeErrors)
 	if stats.EmittedReports == 0 {
 		fmt.Println("no cloud-gaming streaming flows detected")
 	} else if !streaming {

@@ -31,18 +31,31 @@
 // per-flow, so there is nothing to lock, and one pipeline saturates one
 // core. Engine is the multi-core deployment shape: it hash-partitions
 // packets by canonical flow key across N shards (default GOMAXPROCS), each
-// shard running its own Pipeline fed through a bounded batched channel, and
-// merges the per-shard session reports into one deterministic, sorted
-// result. Because flows are independent and each flow's packets stay on one
-// shard in arrival order, an N-shard Engine reports exactly what a single
-// Pipeline would on the same capture — the property internal/engine's tests
-// pin down. Use Pipeline for offline single-capture analysis; use Engine
-// when ingesting at link rate or feeding from several capture threads
-// (Engine.HandlePacket may be called concurrently as long as each flow is
-// fed from one goroutine). Report emission is part of the same model:
-// shard pipelines evict and finalize flows on their own worker goroutines,
-// and the Engine serializes all of them through one merged sink, so an
-// EngineConfig.Sink callback never runs concurrently with itself.
+// shard running its own Pipeline, and merges the per-shard session reports
+// into one deterministic, sorted result. The reader→shard handoff is
+// lock-free: each reader goroutine holds its own EngineProducer
+// (Engine.Producer), which owns a private single-producer/single-consumer
+// batch ring to every shard plus a reverse ring recycling spent batches
+// back, so the steady state moves no locks and no garbage — just two
+// atomic word updates per batch. Each batch carries its packets' bytes in
+// a producer-filled arena whose ownership transfers wholesale to the shard
+// on push and returns on recycle. The cheapest ingest path is
+// EngineProducer.HandleFrame with the raw Ethernet frame: the producer
+// only peeks the five-tuple for routing and memcpys the frame into the
+// arena; full decode runs on the shard worker's core. Because flows are
+// independent and each flow's packets stay on one shard in arrival order,
+// an N-shard Engine reports exactly what a single Pipeline would on the
+// same capture — the property internal/engine's tests pin down. Use
+// Pipeline for offline single-capture analysis; use Engine when ingesting
+// at link rate or feeding from several capture threads (one EngineProducer
+// per reader goroutine; a producer is strictly single-goroutine, and each
+// flow must stay on one producer). Engine.HandlePacket/HandleFrame remain
+// as shared mutex-guarded entry points with the old semantics for callers
+// that don't manage producer handles. Report emission is part of the same
+// model: shard pipelines evict and finalize flows on their own worker
+// goroutines, and the Engine serializes all of them through one merged
+// sink, so an EngineConfig.Sink callback never runs concurrently with
+// itself.
 //
 // # Flow lifecycle
 //
@@ -113,10 +126,12 @@
 // flow, forever — is allocation-free; garbage is confined to per-flow and
 // per-event edges. What allocates when:
 //
-//   - Per packet: nothing. Engine batches recycle through a per-shard free
-//     list with pre-sized payload buffers, the pipeline's slot accounting
-//     mutates fixed per-flow state, and launch buffering appends into
-//     buffers recycled from previously decided flows.
+//   - Per packet: nothing. Engine batches and their byte arenas recycle
+//     through each producer→shard lane's reverse ring (a batch's memory
+//     shuttles between exactly one producer and one shard forever), the
+//     pipeline's slot accounting mutates fixed per-flow state, and launch
+//     buffering appends into buffers recycled from previously decided
+//     flows.
 //   - Per closed slot: nothing. stageclass.Tracker.Push runs the feature
 //     extractor, the stage forest, the transition matrix and the pattern
 //     forest entirely in tracker-owned scratch; QoE levels accumulate into
@@ -145,7 +160,10 @@
 //
 // BenchmarkSteadyState drives the full engine→pipeline→rollup path and
 // reports ns/pkt, pkts/s and B/op; `make bench` records the trajectory in
-// BENCH_4.json, and `make check`'s allocgate pins the 0-alloc guarantees.
+// BENCH_6.json (best-of-N per benchmark, with the host's GOMAXPROCS and
+// CPU count in the _meta entry), `make check`'s allocgate pins the 0-alloc
+// guarantees, and its scalegate smoke fails if running shards=GOMAXPROCS
+// ever drops below single-shard throughput.
 //
 // Quickstart:
 //
@@ -205,6 +223,10 @@ type (
 	EngineConfig = engine.Config
 	// EngineStats are the engine-level counters.
 	EngineStats = engine.Stats
+	// EngineProducer is a single-goroutine ingest handle with lock-free
+	// lanes to every shard (Engine.Producer); the zero-copy raw-frame path
+	// is EngineProducer.HandleFrame.
+	EngineProducer = engine.Producer
 	// SessionReport summarizes one streaming flow.
 	SessionReport = core.SessionReport
 	// ReportSink receives session reports incrementally as flows are

@@ -1,17 +1,42 @@
 // Package engine is the multi-core front-end over the single-threaded Fig 6
 // pipeline (internal/core). core.Pipeline documents "shard flows across
 // pipelines for multi-core operation (flows are independent)"; this package
-// is that sharding. Decoded frames are hash-partitioned by canonical flow
-// key across N worker shards, each running its own core.Pipeline, so every
+// is that sharding. Frames are hash-partitioned by canonical flow key
+// across N worker shards, each running its own core.Pipeline, so every
 // packet of a flow is processed by the same shard in arrival order and the
 // merged result is identical to one pipeline seeing the whole capture.
 //
-// Producers batch packets into a bounded per-shard channel, amortizing the
-// channel send (and its wakeup) over an adaptively sized batch (at most
-// Config.BatchSize packets; see Config.FlushLatency). HandlePacket is safe
-// for concurrent use as long as all packets of a flow are fed from one
-// goroutine (per-flow order must be preserved; the usual arrangement is
-// one goroutine per capture port or per PCAP reader).
+// # Concurrency model
+//
+// The handoff between ingest and shards is built from single-producer/
+// single-consumer rings, not locks. Each ingest goroutine holds a Producer
+// (Engine.Producer), and each producer owns a private lane — a lock-free
+// SPSC ring pair — to every shard. Packets accumulate in a producer-local
+// pending batch whose byte arena carries the variable-length data (raw
+// frame bytes on the HandleFrame path, retained payload/options on the
+// HandlePacket path); a full batch moves to the shard worker as one ring
+// slot write. Producers therefore never contend with each other on any
+// lock or cache line, and adding shards adds throughput instead of
+// serializing on a shared mutex.
+//
+// Arena ownership follows the ...Into borrow convention: the producer owns
+// a batch's arena while filling it, ownership transfers wholesale to the
+// shard worker at the ring push, and the worker returns the emptied batch
+// through the lane's free ring when the pipeline is done borrowing from it
+// (the pipeline never retains its input buffers past HandlePacket). At
+// every instant exactly one goroutine may touch a batch, so no byte is
+// ever copied defensively between producer and shard.
+//
+// The cheapest ingest path is HandleFrame: the producer peeks only the
+// five-tuple from the raw frame (packet.PeekFlow), memcpys the frame into
+// the arena, and full decode happens on the shard worker's core — the
+// per-packet producer cost is a header peek, a hash, and one bounded copy.
+// HandlePacket remains for callers that already decoded.
+//
+// Engine.HandlePacket/HandleFrame are the legacy shared entry points: they
+// feed one engine-internal producer under a per-shard lock, preserving the
+// original "safe for concurrent use, one goroutine per flow" contract for
+// callers that don't manage Producer handles.
 //
 // For long-running deployments the engine threads the core flow lifecycle
 // through the shards: each shard's pipeline evicts its own idle flows
@@ -23,7 +48,14 @@
 // newest capture timestamp seen engine-wide (Config.TickInterval), so a
 // shard whose flows have all gone silent still evicts on schedule as long
 // as any traffic reaches the tap; manual ExpireIdle remains for monitors
-// whose whole feed goes quiet.
+// whose whole feed goes quiet. Eviction sweeps travel in-band: a sweep is
+// a control message pushed through the electing producer's own lanes, so
+// it is FIFO with every packet that producer already handed in. With
+// several explicit Producers, a sweep orders exactly with the electing
+// producer's stream; other producers' in-flight batches are swept by their
+// own subsequent ticks. Callers that need strict cross-producer eviction
+// ordering should feed flows through the engine-level HandlePacket, whose
+// single shared producer serializes packets and sweeps per shard.
 package engine
 
 import (
@@ -48,22 +80,23 @@ type Config struct {
 	// (default 64). Larger batches cost latency; smaller ones cost
 	// synchronization.
 	BatchSize int
-	// QueueDepth bounds each shard's channel, in batches (default 128).
-	// A full queue blocks HandlePacket (lossless backpressure) unless
-	// DropOverload is set.
+	// QueueDepth bounds each producer→shard lane, in batches (default 128,
+	// rounded up to a power of two). A full lane blocks the producer
+	// (lossless backpressure) unless DropOverload is set.
 	QueueDepth int
-	// DropOverload sheds load instead of blocking: when a shard's queue
-	// is full the pending batch is dropped and counted in Stats.Dropped,
-	// matching how a passive tap behaves when a core falls behind.
+	// DropOverload sheds load instead of blocking: when a lane is full the
+	// pending batch is dropped and counted in Stats.Dropped, matching how a
+	// passive tap behaves when a core falls behind. The dropped batch is
+	// reset in place and refilled — shedding allocates nothing.
 	DropOverload bool
 	// FlushLatency is the batching latency budget for adaptive batch
-	// sizing (default 25ms; negative disables adaptation). Each shard
-	// tracks its observed packet inter-arrival (in packet time, so replay
-	// behaves like live capture) and flushes once the pending batch would
-	// hold FlushLatency worth of traffic: low-rate links flush after a
-	// couple of packets instead of waiting out BatchSize, while high-rate
-	// links still amortize the channel send over full batches. BatchSize
-	// remains the upper bound.
+	// sizing (default 25ms; negative disables adaptation). Each
+	// producer→shard pair tracks its observed packet inter-arrival (in
+	// packet time, so replay behaves like live capture) and flushes once
+	// the pending batch would hold FlushLatency worth of traffic: low-rate
+	// links flush after a couple of packets instead of waiting out
+	// BatchSize, while high-rate links still amortize the handoff over
+	// full batches. BatchSize remains the upper bound.
 	FlushLatency time.Duration
 	// Sink, when set, receives every merged SessionReport incrementally —
 	// evicted flows as their Pipeline.FlowTTL expires, the rest at Finish
@@ -73,14 +106,15 @@ type Config struct {
 	Sink core.ReportSink
 	// TickInterval is the automatic shard-clock tick cadence, in packet
 	// time: whenever the newest capture timestamp observed engine-wide has
-	// advanced TickInterval past the previous tick, the engine runs an
-	// ExpireIdle sweep of every shard at that instant itself. A shard's
-	// own lifecycle clock advances only with its own traffic — exactly the
-	// clock that freezes when its flows go idle — so the engine-wide clock
-	// is what bounds the idle-shard tail without operator code. Zero takes
-	// the pipeline's sweep cadence (Pipeline.SweepInterval, default
-	// FlowTTL/4); negative disables automatic ticks (per-shard sweeps and
-	// manual ExpireIdle only). Ignored unless Pipeline.FlowTTL is set.
+	// advanced TickInterval past the previous tick, the engine sweeps every
+	// shard at that instant through the producer that observed it. A
+	// shard's own lifecycle clock advances only with its own traffic —
+	// exactly the clock that freezes when its flows go idle — so the
+	// engine-wide clock is what bounds the idle-shard tail without operator
+	// code. Zero takes the pipeline's sweep cadence
+	// (Pipeline.SweepInterval, default FlowTTL/4); negative disables
+	// automatic ticks (per-shard sweeps and manual ExpireIdle only).
+	// Ignored unless Pipeline.FlowTTL is set.
 	TickInterval time.Duration
 	// StreamOnly makes Sink the sole delivery path: reports are not
 	// retained for Finish, which still finalizes the remaining sessions
@@ -115,13 +149,19 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Shards is the worker count.
 	Shards int
-	// PacketsIn counts every frame handed to HandlePacket.
+	// PacketsIn counts every frame handed to HandlePacket/HandleFrame,
+	// across all producers.
 	PacketsIn int64
 	// Processed counts packets the shard workers have consumed; after
-	// Finish, Processed + Dropped == PacketsIn.
+	// Finish, Processed + Dropped == PacketsIn. Frames that fail decode on
+	// the worker are consumed (and counted here) too — see DecodeErrors.
 	Processed int64
 	// Dropped counts packets shed under DropOverload.
 	Dropped int64
+	// DecodeErrors counts raw frames (HandleFrame path) the shard worker
+	// could not decode; they are dropped silently, as a capture loop
+	// skipping malformed frames would.
+	DecodeErrors int64
 	// ActiveFlows is the number of live (post-eviction) gaming flows
 	// across all shards — the number actually resident in memory, which a
 	// finite Pipeline.FlowTTL keeps bounded on long captures.
@@ -135,7 +175,7 @@ type Stats struct {
 	// post-eviction (use Flows for the cumulative count — dashboards that
 	// chart ShardFlows see residency, not volume). Values are exact after
 	// Finish; live reads trail by whatever is still queued — up to
-	// QueueDepth batches plus the pending partial one.
+	// QueueDepth batches per lane plus the pending partial ones.
 	//
 	// Coherence invariant: each shard's ShardFlows entry and its share of
 	// EvictedFlows are sampled in one atomic read, published together by
@@ -148,7 +188,8 @@ type Stats struct {
 	ShardFlows []int
 	// ShardBatch is each shard's current adaptive batch threshold, in
 	// packets (== BatchSize when adaptation is disabled or the link runs
-	// hot).
+	// hot). With several producers, the last producer to route a packet to
+	// the shard wins the entry.
 	ShardBatch []int
 }
 
@@ -166,27 +207,43 @@ func (s Stats) Flows() int {
 	return total + int(s.EvictedFlows)
 }
 
-// pkt is one queued packet. The variable-length parts — payload, then any
-// IPv4/TCP options — live contiguously in the owning batch's shared buffer
-// starting at off; the worker re-points the copied Decoded's slice fields
-// there (a shallow *dec copy would keep aliasing the producer's reused
-// decode buffers).
-type pkt struct {
-	ts      time.Time
-	dec     packet.Decoded
-	off, n  int
-	ip4Opts int
-	tcpOpts int
+// paddedInt64 is an atomic counter on its own cache line, so two hot
+// counters written by different goroutines never invalidate each other.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
 }
 
-// batch is the unit of shard handoff: a run of packets plus one contiguous
-// payload buffer, so a batch costs a single channel send and at most two
-// slice growths regardless of packet count. A batch with a non-zero expire
-// is a control message instead: the worker advances its pipeline's
-// lifecycle clock to that instant and sweeps (Engine.ExpireIdle), which is
-// how eviction reaches a shard whose own traffic has gone quiet.
+// pkt is one queued decoded packet. Its variable-length views — payload,
+// then any IPv4/TCP options — were retained into the owning batch's arena
+// by the producer (packet.Decoded.RetainInto), so dec is self-contained
+// relative to the batch: handing the batch across the ring hands the bytes
+// with it, and the worker replays it with zero further copies.
+type pkt struct {
+	ts  time.Time
+	dec packet.Decoded
+}
+
+// frameRef is one queued raw frame: n bytes at off in the owning batch's
+// arena. The shard worker decodes it into a worker-local scratch, so the
+// producer never pays the decode (or the decode's option copies).
+type frameRef struct {
+	ts     time.Time
+	off, n int
+}
+
+// batch is the unit of shard handoff: a run of packets — decoded pkts or
+// raw frameRefs, never both — plus one contiguous arena carrying their
+// bytes, so a batch costs a single ring-slot write regardless of packet
+// count. The arena never grows while entries reference it (growth would
+// relocate the backing array out from under retained slices); a producer
+// flushes instead. A batch with a non-zero expire is a control message: the
+// worker advances its pipeline's lifecycle clock to that instant and
+// sweeps, which is how eviction reaches a shard whose own traffic has gone
+// quiet.
 type batch struct {
 	pkts   []pkt
+	frames []frameRef
 	buf    []byte
 	expire time.Time
 }
@@ -201,23 +258,54 @@ type shardCounts struct {
 }
 
 type shard struct {
-	mu      sync.Mutex // serializes producers; held across the send to keep batches FIFO
-	pending batch
-	ch      chan batch
-	free    chan batch // recycled batches, so steady state allocates nothing
-	pipe    *core.Pipeline
+	pipe *core.Pipeline
+	// lanes is the COW list of producer lanes feeding this shard; the
+	// worker loads it once per drain pass, producers append via addQueue.
+	lanes atomic.Pointer[[]*queue]
+	// wake is the worker's doorbell: capacity one, producers ring it with a
+	// non-blocking send after a push. A pending token means "look again",
+	// so a producer pushing between the worker's empty drain and its
+	// receive can never strand the worker asleep.
+	wake   chan struct{}
+	closed atomic.Bool
+	// dec is the worker's decode scratch for raw frames: one Decoded reused
+	// across every frame the shard consumes (the pipeline never retains its
+	// input), so the frame path decodes with zero allocations.
+	dec packet.Decoded
+
 	// counts is the worker's atomically published {live, evicted} pair
 	// (nil until the first batch drains). Publishing both in one store is
 	// what keeps Stats.Flows() coherent: sampling them separately would
 	// let a live read race an eviction and count the moving flow twice (or
 	// drop it), depending on which column was read first.
-	counts atomic.Pointer[shardCounts]
-
-	// Adaptive batching state (mu-guarded writers; effBatch is atomic so
-	// Stats can read it without the producer lock).
-	lastTS   time.Time
-	ewmaGap  float64 // seconds between packets, exponentially smoothed
+	counts     atomic.Pointer[shardCounts]
+	processed  paddedInt64 // worker-written; padded away from producer-written effBatch
+	decodeErrs atomic.Int64
+	// effBatch mirrors the adaptive batch threshold of whichever producer
+	// last routed traffic here, for Stats.ShardBatch. Producer-written, so
+	// it sits on its own line away from the worker's counters.
+	_        [56]byte
 	effBatch atomic.Int64
+	_        [56]byte
+}
+
+// addQueue registers one producer lane with the shard (copy-on-write; the
+// engine serializes registrations under prodMu).
+func (s *shard) addQueue(q *queue) {
+	var lanes []*queue
+	if old := s.lanes.Load(); old != nil {
+		lanes = append(lanes, *old...)
+	}
+	lanes = append(lanes, q)
+	s.lanes.Store(&lanes)
+}
+
+// wakeUp rings the shard's doorbell without blocking.
+func (s *shard) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
 }
 
 // publish snapshots the pipeline's flow accounting into the atomic pair.
@@ -237,20 +325,29 @@ func (s *shard) load() shardCounts {
 	return shardCounts{}
 }
 
-// Engine fans decoded frames out to sharded pipelines and merges their
-// session reports.
+// Engine fans frames out to sharded pipelines and merges their session
+// reports.
 type Engine struct {
-	cfg       Config
-	shards    []*shard
-	wg        sync.WaitGroup
-	packetsIn atomic.Int64
-	processed atomic.Int64
-	dropped   atomic.Int64
+	cfg    Config
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// prodMu guards producer registration and the producers list (Stats
+	// sums per-producer counters under it; packet paths never take it).
+	prodMu    sync.Mutex
+	producers []*Producer
+	// legacy is the engine-internal producer behind Engine.HandlePacket /
+	// HandleFrame / Flush / ExpireIdle, shared by all callers under the
+	// per-shard legacyMu locks.
+	legacy   *Producer
+	legacyMu []paddedMutex
+
+	finished atomic.Bool
 
 	// Automatic shard-clock ticks (see Config.TickInterval): clockNs is
 	// the newest capture timestamp observed engine-wide, nextTickNs the
-	// packet-time instant the next ExpireIdle sweep is due. tickEvery is 0
-	// when ticks are disabled.
+	// packet-time instant the next sweep is due. tickEvery is 0 when ticks
+	// are disabled.
 	tickEvery  int64 // nanos
 	clockNs    atomic.Int64
 	nextTickNs atomic.Int64
@@ -267,11 +364,23 @@ type Engine struct {
 	reports    []*core.SessionReport
 }
 
+// paddedMutex keeps the per-shard legacy locks off each other's cache
+// lines, so two goroutines feeding different shards through the legacy
+// entry points don't false-share.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
 // New assembles an engine around trained classifiers. The classifiers are
 // shared across shards (prediction is read-only).
 func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifier) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	e := &Engine{
+		cfg:      cfg,
+		shards:   make([]*shard, cfg.Shards),
+		legacyMu: make([]paddedMutex, cfg.Shards),
+	}
 	if cfg.Pipeline.FlowTTL > 0 && cfg.TickInterval >= 0 {
 		every := cfg.TickInterval
 		if every == 0 {
@@ -285,8 +394,7 @@ func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifie
 	pipeCfg.Sink = e.emit // merged engine-level sink; see Config.Sink
 	for i := range e.shards {
 		s := &shard{
-			ch:   make(chan batch, cfg.QueueDepth),
-			free: make(chan batch, cfg.QueueDepth+1),
+			wake: make(chan struct{}, 1),
 			pipe: core.New(pipeCfg, titles, stages),
 		}
 		s.effBatch.Store(int64(cfg.BatchSize))
@@ -294,7 +402,26 @@ func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifie
 		e.wg.Add(1)
 		go e.run(s)
 	}
+	e.legacy = e.registerProducer()
 	return e
+}
+
+// registerProducer builds a producer, wires its lanes, and records it for
+// Stats and Finish.
+func (e *Engine) registerProducer() *Producer {
+	e.prodMu.Lock()
+	defer e.prodMu.Unlock()
+	p := newProducer(e)
+	e.producers = append(e.producers, p)
+	return p
+}
+
+// Producer returns a new ingest handle with a private lock-free lane to
+// every shard — the scaling entry point: give each capture goroutine its
+// own Producer and the handoff runs with no shared locks at all. See the
+// Producer type for the single-goroutine contract.
+func (e *Engine) Producer() *Producer {
+	return e.registerProducer()
 }
 
 // emit is the merged sink every shard pipeline reports into. Shard workers
@@ -313,43 +440,79 @@ func (e *Engine) emit(r *core.SessionReport) {
 	e.sinkMu.Unlock()
 }
 
-// run is one shard's worker loop: drain batches, feed the shard pipeline,
-// recycle the batch.
+// run is one shard's worker loop: drain every lane, feed the shard
+// pipeline, recycle batches, sleep on the doorbell when idle.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
-	for b := range s.ch {
-		if !b.expire.IsZero() {
-			s.pipe.ExpireIdle(b.expire)
-			s.publish()
-			continue
-		}
-		for i := range b.pkts {
-			p := &b.pkts[i]
-			rest := b.buf[p.off:]
-			payload := rest[:p.n:p.n]
-			p.dec.Payload = payload
-			rest = rest[p.n:]
-			p.dec.IP4.Options = nil
-			if p.ip4Opts > 0 {
-				p.dec.IP4.Options = rest[:p.ip4Opts:p.ip4Opts]
-				rest = rest[p.ip4Opts:]
+	for {
+		if s.drain() == 0 {
+			if s.closed.Load() {
+				// Closed and drained: one final pass in case a producer
+				// pushed between the empty drain and the close flag, then
+				// exit.
+				if s.drain() == 0 {
+					break
+				}
+				continue
 			}
-			p.dec.TCP.Options = nil
-			if p.tcpOpts > 0 {
-				p.dec.TCP.Options = rest[:p.tcpOpts:p.tcpOpts]
-			}
-			s.pipe.HandlePacket(p.ts, &p.dec, payload)
-		}
-		s.publish()
-		e.processed.Add(int64(len(b.pkts)))
-		b.pkts = b.pkts[:0]
-		b.buf = b.buf[:0]
-		select {
-		case s.free <- b:
-		default:
+			<-s.wake
 		}
 	}
 	s.publish()
+}
+
+// drain consumes every batch currently queued across the shard's lanes,
+// returning the number of batches consumed. Within a lane batches are
+// strictly FIFO (the equivalence invariant: per-flow order is per-lane
+// order); across lanes the interleaving is arbitrary, which is fine
+// because distinct producers own disjoint flows.
+func (s *shard) drain() int {
+	lanes := s.lanes.Load()
+	if lanes == nil {
+		return 0
+	}
+	total := 0
+	for _, q := range *lanes {
+		for {
+			b, ok := q.data.pop()
+			if !ok {
+				break
+			}
+			total++
+			s.consume(q, b)
+		}
+	}
+	return total
+}
+
+// consume replays one batch into the shard pipeline and recycles it. The
+// batch's entries are self-contained in its arena: decoded pkts were
+// retained by the producer, raw frames are decoded here into the worker's
+// scratch — on this core, off the producer's critical path.
+func (s *shard) consume(q *queue, b batch) {
+	if !b.expire.IsZero() {
+		s.pipe.ExpireIdle(b.expire)
+		s.publish()
+		return
+	}
+	for i := range b.pkts {
+		p := &b.pkts[i]
+		s.pipe.HandlePacket(p.ts, &p.dec, p.dec.Payload)
+	}
+	for i := range b.frames {
+		f := &b.frames[i]
+		if err := packet.Decode(b.buf[f.off:f.off+f.n], &s.dec); err != nil {
+			s.decodeErrs.Add(1)
+			continue
+		}
+		s.pipe.HandlePacket(f.ts, &s.dec, s.dec.Payload)
+	}
+	s.publish()
+	s.processed.v.Add(int64(len(b.pkts) + len(b.frames)))
+	b.pkts = b.pkts[:0]
+	b.frames = b.frames[:0]
+	b.buf = b.buf[:0]
+	q.free.push(b) // sized so this cannot fail; see newQueue
 }
 
 // ShardIndex returns the shard a flow key routes to. The hash (FNV-1a over
@@ -393,48 +556,49 @@ func ShardIndex(key packet.FlowKey, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// HandlePacket routes one decoded frame to its flow's shard. The decoded
-// struct and payload are copied before the call returns, so the caller may
-// reuse both buffers immediately (the cmd/classify read loop does).
+// HandlePacket routes one decoded frame to its flow's shard through the
+// engine's shared legacy producer. The decoded struct and payload are
+// copied before the call returns, so the caller may reuse both buffers
+// immediately (the cmd/classify read loop used to).
 //
 // Multiple goroutines may call HandlePacket concurrently provided each flow
 // is fed from a single goroutine; interleaving packets of one flow across
 // goroutines loses the arrival order the pipeline's slot accounting needs.
+// Goroutines feeding different shards pay no contention beyond the
+// per-shard lock; for a fully lock-free path give each goroutine its own
+// Producer.
 func (e *Engine) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte) {
-	e.packetsIn.Add(1)
-	s := e.shards[ShardIndex(dec.Flow(), len(e.shards))]
-	s.mu.Lock()
-	if s.pending.pkts == nil {
-		s.pending = s.newBatch(e.cfg.BatchSize)
-	}
-	off := len(s.pending.buf)
-	s.pending.buf = append(s.pending.buf, payload...)
-	s.pending.buf = append(s.pending.buf, dec.IP4.Options...)
-	s.pending.buf = append(s.pending.buf, dec.TCP.Options...)
-	s.pending.pkts = append(s.pending.pkts, pkt{
-		ts: ts, dec: *dec, off: off, n: len(payload),
-		ip4Opts: len(dec.IP4.Options), tcpOpts: len(dec.TCP.Options),
-	})
-	threshold := e.cfg.BatchSize
-	if e.cfg.FlushLatency > 0 {
-		threshold = int(s.adaptBatch(ts, e.cfg.FlushLatency, e.cfg.BatchSize))
-	}
-	if len(s.pending.pkts) >= threshold {
-		e.flushLocked(s)
-	}
-	s.mu.Unlock()
+	si := ShardIndex(dec.Flow(), len(e.shards))
+	e.legacyMu[si].Lock()
+	e.legacy.handlePacketShard(si, ts, dec, payload)
+	e.legacyMu[si].Unlock()
 	if e.tickEvery > 0 {
-		e.tick(ts)
+		e.tick(ts, nil)
+	}
+}
+
+// HandleFrame routes one raw Ethernet frame through the engine's shared
+// legacy producer — Producer.HandleFrame's semantics (shard-side decode,
+// DecodeErrors accounting) under the legacy concurrency contract.
+func (e *Engine) HandleFrame(ts time.Time, frame []byte) {
+	si := ShardIndex(packet.PeekFlow(frame), len(e.shards))
+	e.legacyMu[si].Lock()
+	e.legacy.handleFrameShard(si, ts, frame)
+	e.legacyMu[si].Unlock()
+	if e.tickEvery > 0 {
+		e.tick(ts, nil)
 	}
 }
 
 // tick advances the engine-wide packet clock to ts and, when a whole
-// TickInterval has elapsed since the last sweep, runs ExpireIdle at the
-// clock instant. The CAS on nextTickNs elects exactly one producer per
+// TickInterval has elapsed since the last sweep, runs an expire sweep at
+// the clock instant. The CAS on nextTickNs elects exactly one producer per
 // interval to perform the sweep; the losers return immediately, so the
-// per-packet cost is two atomic loads. Called after the shard lock is
-// released — ExpireIdle takes every shard's lock in turn.
-func (e *Engine) tick(ts time.Time) {
+// per-packet cost is two atomic loads. The elected producer sweeps through
+// its own lanes (in-band with its stream); a nil p means the legacy path,
+// which sweeps through the shared legacy producer under its locks
+// (ExpireIdle). Called after any per-shard lock is released.
+func (e *Engine) tick(ts time.Time, p *Producer) {
 	now := ts.UnixNano()
 	for {
 		cur := e.clockNs.Load()
@@ -458,104 +622,24 @@ func (e *Engine) tick(ts time.Time) {
 	if !e.nextTickNs.CompareAndSwap(next, now+e.tickEvery) {
 		return // another producer owns this tick
 	}
+	if p != nil {
+		p.expire(time.Unix(0, now))
+		return
+	}
 	e.ExpireIdle(time.Unix(0, now))
 }
 
-// adaptBatch updates the shard's inter-arrival estimate from one packet
-// timestamp and returns the batch threshold that keeps batching latency
-// near budget: threshold ≈ budget / mean-gap, clamped to [1, max]. Called
-// with s.mu held. Concurrent producers can deliver timestamps out of order
-// across flows; negative gaps are ignored, and gaps are capped at one
-// second before smoothing — any sustained gap that long already means
-// "flush immediately" (budget/1s < 1 packet), and the cap keeps a single
-// long idle period from dominating the estimate once traffic resumes.
-func (s *shard) adaptBatch(ts time.Time, budget time.Duration, max int) int64 {
-	if !s.lastTS.IsZero() {
-		if gap := ts.Sub(s.lastTS).Seconds(); gap >= 0 {
-			if gap > 1 {
-				gap = 1
-			}
-			const alpha = 0.05 // smooth over ~20 packets
-			if s.ewmaGap == 0 {
-				s.ewmaGap = gap
-			} else {
-				s.ewmaGap += alpha * (gap - s.ewmaGap)
-			}
-		}
-	}
-	if ts.After(s.lastTS) {
-		s.lastTS = ts
-	}
-	eff := int64(max)
-	if s.ewmaGap > 0 {
-		if n := int64(budget.Seconds() / s.ewmaGap); n < eff {
-			eff = n
-		}
-		if eff < 1 {
-			eff = 1
-		}
-	}
-	s.effBatch.Store(eff)
-	return eff
-}
-
-// batchBufSize is the payload-buffer capacity a fresh batch starts with:
-// one MTU-class frame (payload plus any IPv4/TCP options) per packet.
-// Recycled batches keep whatever larger capacity they grew to, so this
-// only bounds the allocation a brand-new batch pays once instead of
-// rediscovering it through append's doubling chain — which used to be the
-// single largest garbage source in the whole ingest path.
-const batchBufSize = 1536
-
-// newBatch recycles a drained batch or allocates a fresh, fully pre-sized
-// one.
-func (s *shard) newBatch(batchSize int) batch {
-	select {
-	case b := <-s.free:
-		return b
-	default:
-		return batch{
-			pkts: make([]pkt, 0, batchSize),
-			buf:  make([]byte, 0, batchSize*batchBufSize),
-		}
-	}
-}
-
-// flushLocked hands the pending batch to the shard worker. The shard mutex
-// is held across the send: that keeps batches FIFO under concurrent
-// producers (per-flow order is the equivalence invariant) and makes a full
-// queue exert backpressure on the producer.
-func (e *Engine) flushLocked(s *shard) {
-	if len(s.pending.pkts) == 0 {
-		return
-	}
-	b := s.pending
-	s.pending = batch{}
-	if e.cfg.DropOverload {
-		select {
-		case s.ch <- b:
-		default:
-			e.dropped.Add(int64(len(b.pkts)))
-			b.pkts = b.pkts[:0]
-			b.buf = b.buf[:0]
-			select {
-			case s.free <- b:
-			default:
-			}
-		}
-		return
-	}
-	s.ch <- b
-}
-
-// Flush pushes all partially filled batches to their shards without waiting
-// for them to drain. Useful at quiet points of a long-running capture so
-// tail packets are not stuck behind the batch threshold.
+// Flush pushes the legacy producer's partially filled batches to their
+// shards without waiting for them to drain. Useful at quiet points of a
+// long-running capture so tail packets are not stuck behind the batch
+// threshold. Explicit producers flush their own pendings
+// (Producer.Flush); this cannot touch them — their batches are
+// single-goroutine property.
 func (e *Engine) Flush() {
-	for _, s := range e.shards {
-		s.mu.Lock()
-		e.flushLocked(s)
-		s.mu.Unlock()
+	for si := range e.shards {
+		e.legacyMu[si].Lock()
+		e.legacy.flushShard(si)
+		e.legacyMu[si].Unlock()
 	}
 }
 
@@ -564,35 +648,23 @@ func (e *Engine) Flush() {
 // emitting their reports through the merged sink. Each shard normally
 // evicts on its own packet clock, which never advances while the shard's
 // traffic is quiet — exactly when its flows should be expiring. With
-// automatic ticks enabled (Config.TickInterval) the engine calls this
-// itself from the newest engine-wide capture timestamp, so any traffic at
-// the tap sweeps every shard; manual calls remain for monitors whose whole
-// feed goes quiet (no packets anywhere to advance the engine clock).
-// Pending batches are flushed first, keeping eviction ordered after every
-// packet already handed in. The sweep runs asynchronously on the shard
-// workers; it is a no-op without a FlowTTL, and must not be called after
-// Finish.
+// automatic ticks enabled (Config.TickInterval) the engine sweeps itself
+// from the newest engine-wide capture timestamp; manual calls remain for
+// monitors whose whole feed goes quiet (no packets anywhere to advance the
+// engine clock). The sweep travels through the legacy producer's lanes:
+// its pending batches are flushed first, keeping eviction ordered after
+// every packet already handed in through the engine-level entry points
+// (explicit Producers order sweeps with their own streams instead). The
+// sweep runs asynchronously on the shard workers; it is a no-op without a
+// FlowTTL, and must not be called after Finish.
 func (e *Engine) ExpireIdle(now time.Time) {
 	if e.cfg.Pipeline.FlowTTL <= 0 {
 		return
 	}
-	for _, s := range e.shards {
-		s.mu.Lock()
-		e.flushLocked(s)
-		b := batch{expire: now}
-		if e.cfg.DropOverload {
-			// Best-effort under overload, like packet batches: a shard
-			// that can't keep up sheds the sweep rather than stalling the
-			// caller; the next ExpireIdle or packet-driven sweep catches
-			// up.
-			select {
-			case s.ch <- b:
-			default:
-			}
-		} else {
-			s.ch <- b
-		}
-		s.mu.Unlock()
+	for si := range e.shards {
+		e.legacyMu[si].Lock()
+		e.legacy.pushControl(si, now)
+		e.legacyMu[si].Unlock()
 	}
 }
 
@@ -602,19 +674,24 @@ func (e *Engine) ExpireIdle(now time.Time) {
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Shards:         len(e.shards),
-		PacketsIn:      e.packetsIn.Load(),
-		Processed:      e.processed.Load(),
-		Dropped:        e.dropped.Load(),
 		EmittedReports: e.emitted.Load(),
 		ShardFlows:     make([]int, len(e.shards)),
 		ShardBatch:     make([]int, len(e.shards)),
 	}
+	e.prodMu.Lock()
+	for _, p := range e.producers {
+		st.PacketsIn += p.packetsIn.v.Load()
+		st.Dropped += p.dropped.v.Load()
+	}
+	e.prodMu.Unlock()
 	for i, s := range e.shards {
 		c := s.load() // one atomic read: live and evicted from the same instant
 		st.ShardFlows[i] = int(c.live)
 		st.ActiveFlows += int(c.live)
 		st.ShardBatch[i] = int(s.effBatch.Load())
 		st.EvictedFlows += c.evicted
+		st.Processed += s.processed.v.Load()
+		st.DecodeErrors += s.decodeErrs.Load()
 	}
 	return st
 }
@@ -626,16 +703,30 @@ func (e *Engine) Stats() Stats {
 // broken by flow key) so the combined result is deterministic regardless
 // of shard count and drain interleaving. Under Config.StreamOnly the sink
 // has already delivered everything and Finish returns nil. Finish is
-// idempotent; HandlePacket must not be called after it.
+// idempotent; no producer (the engine-level entry points included) may be
+// used after — or concurrently with — it.
 func (e *Engine) Finish() []*core.SessionReport {
 	e.finishOnce.Do(func() {
+		// Flush every producer's pending batches. Producers are contracted
+		// to have stopped, so Finish is the sole goroutine touching their
+		// pendings here; the legacy producer is flushed under its locks
+		// like any legacy call.
+		e.prodMu.Lock()
+		producers := append([]*Producer(nil), e.producers...)
+		e.prodMu.Unlock()
+		for _, p := range producers {
+			if p == e.legacy {
+				e.Flush()
+			} else {
+				p.Flush()
+			}
+		}
 		for _, s := range e.shards {
-			s.mu.Lock()
-			e.flushLocked(s)
-			close(s.ch)
-			s.mu.Unlock()
+			s.closed.Store(true)
+			s.wakeUp()
 		}
 		e.wg.Wait()
+		e.finished.Store(true)
 		// Per-shard Finish emits the remaining sessions into e.streamed
 		// via the merged sink; the workers have exited, so this goroutine
 		// is the only emitter left.

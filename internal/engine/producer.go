@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"gamelens/internal/packet"
+)
+
+// queue is one producer→shard handoff lane: a data ring carrying filled
+// batches toward the shard worker and a free ring carrying drained batches
+// back for reuse. Both directions are single-producer/single-consumer by
+// construction — the producer goroutine is the only pusher of data and the
+// only popper of free, the shard worker the reverse — so the whole lane is
+// lock-free.
+type queue struct {
+	data *spscRing
+	free *spscRing
+}
+
+func newQueue(depth int) *queue {
+	data := newSPSCRing(depth)
+	// Batches in circulation per lane are bounded by the data ring's real
+	// (rounded) capacity plus the producer's pending batch plus the one the
+	// worker is draining, so a free ring this size never overflows and no
+	// batch ever leaks to the GC — dropped ones included.
+	return &queue{data: data, free: newSPSCRing(len(data.slots) + 2)}
+}
+
+// pair is a producer's per-shard state: its lane to that shard, the batch
+// being filled, and the adaptive-batching estimate for the traffic this
+// producer routes there.
+type pair struct {
+	q       *queue
+	pending batch
+	lastTS  time.Time
+	ewmaGap float64 // seconds between packets, exponentially smoothed
+}
+
+// Producer is one ingest goroutine's handle into the engine. Each producer
+// owns a private SPSC lane to every shard, so concurrent producers never
+// contend on a lock or a cache line: HandlePacket/HandleFrame append to the
+// producer-local pending batch and hand full batches to the shard worker
+// through the lane's ring.
+//
+// A Producer is strictly single-goroutine — the lanes are SPSC, so calling
+// any method concurrently from two goroutines corrupts the handoff. Feed
+// all packets of a flow through one producer (the usual arrangement: one
+// producer per capture port or per PCAP reader, which preserves per-flow
+// arrival order automatically). Flush at quiet points so tail packets are
+// not stuck behind the batch threshold, and Close when done, before
+// Engine.Finish.
+type Producer struct {
+	e         *Engine
+	pairs     []pair
+	_         [64]byte // producers are long-lived; keep their hot counters off neighbors' lines
+	packetsIn paddedInt64
+	dropped   paddedInt64
+}
+
+// newProducer wires a producer's lanes into every shard. Callers go through
+// Engine.Producer, which also registers the producer for Stats and Finish.
+func newProducer(e *Engine) *Producer {
+	p := &Producer{e: e, pairs: make([]pair, len(e.shards))}
+	for i := range p.pairs {
+		q := newQueue(e.cfg.QueueDepth)
+		p.pairs[i].q = q
+		e.shards[i].addQueue(q)
+	}
+	return p
+}
+
+// HandlePacket routes one decoded frame to its flow's shard. The decoded
+// struct is copied and its borrowed views (payload, options) are retained
+// into the pending batch's arena before the call returns, so the caller may
+// reuse its decode buffers immediately.
+func (p *Producer) HandlePacket(ts time.Time, dec *packet.Decoded, payload []byte) {
+	si := ShardIndex(dec.Flow(), len(p.e.shards))
+	p.handlePacketShard(si, ts, dec, payload)
+	if p.e.tickEvery > 0 {
+		p.e.tick(ts, p)
+	}
+}
+
+// handlePacketShard is the shard-routed body of HandlePacket, shared with
+// the engine's legacy entry point (which computes the shard before taking
+// its per-shard lock, and ticks after releasing it).
+func (p *Producer) handlePacketShard(si int, ts time.Time, dec *packet.Decoded, payload []byte) {
+	p.packetsIn.v.Add(1)
+	need := len(payload) + len(dec.IP4.Options) + len(dec.TCP.Options)
+	b := p.ensure(si, need, false)
+	pk := pkt{ts: ts, dec: *dec}
+	pk.dec.Payload = payload
+	b.buf = pk.dec.RetainInto(b.buf)
+	b.pkts = append(b.pkts, pk)
+	if len(b.pkts) >= p.threshold(si, ts) {
+		p.flushShard(si)
+	}
+}
+
+// HandleFrame routes one raw Ethernet frame to its flow's shard without
+// decoding it: the producer peeks just the five-tuple (packet.PeekFlow),
+// copies the frame bytes into the pending batch's arena, and the shard
+// worker decodes on its own core. This is the zero-copy ingest path — the
+// producer's per-packet work is a header peek, a hash, and one memcpy into
+// an arena it already owns. The frame is copied before the call returns, so
+// the caller may reuse its read buffer immediately. Frames the worker fails
+// to decode are counted in Stats.DecodeErrors and otherwise ignored, which
+// is what a capture loop wants (no per-frame error plumbing).
+func (p *Producer) HandleFrame(ts time.Time, frame []byte) {
+	si := ShardIndex(packet.PeekFlow(frame), len(p.e.shards))
+	p.handleFrameShard(si, ts, frame)
+	if p.e.tickEvery > 0 {
+		p.e.tick(ts, p)
+	}
+}
+
+// handleFrameShard is the shard-routed body of HandleFrame, shared with
+// the engine's legacy entry point.
+func (p *Producer) handleFrameShard(si int, ts time.Time, frame []byte) {
+	p.packetsIn.v.Add(1)
+	b := p.ensure(si, len(frame), true)
+	off := len(b.buf)
+	b.buf = append(b.buf, frame...)
+	b.frames = append(b.frames, frameRef{ts: ts, off: off, n: len(frame)})
+	if len(b.frames) >= p.threshold(si, ts) {
+		p.flushShard(si)
+	}
+}
+
+// ensure returns shard si's pending batch, ready to absorb need more arena
+// bytes in the given style (decoded pkts or raw frames). The arena never
+// grows while a batch holds entries — growth would move the backing array
+// out from under every Decoded already retained into it — so a batch whose
+// spare capacity is too small is flushed and a recycled (or fresh) one
+// started. Mixed styles in one batch would also reorder a flow across the
+// style boundary (the worker replays pkts before frames), so a style switch
+// flushes too; producers in practice use one style exclusively.
+func (p *Producer) ensure(si int, need int, frameStyle bool) *batch {
+	pr := &p.pairs[si]
+	b := &pr.pending
+	if frameStyle {
+		if len(b.pkts) > 0 {
+			p.flushShard(si)
+		}
+	} else if len(b.frames) > 0 {
+		p.flushShard(si)
+	}
+	if len(b.buf)+need > cap(b.buf) && (len(b.pkts) > 0 || len(b.frames) > 0) {
+		p.flushShard(si)
+	}
+	if b.pkts == nil && b.frames == nil {
+		*b = pr.newBatch(p.e.cfg.BatchSize)
+	}
+	if need > cap(b.buf) {
+		// Oversized single entry (a jumbo frame beyond the MTU-class arena):
+		// give this batch a right-sized arena; it keeps the larger capacity
+		// through recycling.
+		b.buf = make([]byte, 0, need)
+	}
+	return b
+}
+
+// threshold folds ts into shard si's pair inter-arrival estimate and
+// returns the batch size that keeps batching latency near
+// Config.FlushLatency (see adaptBatch); Config.BatchSize when adaptation is
+// disabled.
+func (p *Producer) threshold(si int, ts time.Time) int {
+	if p.e.cfg.FlushLatency <= 0 {
+		return p.e.cfg.BatchSize
+	}
+	return int(p.pairs[si].adaptBatch(ts, p.e.cfg.FlushLatency, p.e.cfg.BatchSize, p.e.shards[si]))
+}
+
+// adaptBatch updates the pair's inter-arrival estimate from one packet
+// timestamp and returns the batch threshold that keeps batching latency
+// near budget: threshold ≈ budget / mean-gap, clamped to [1, max]. Each
+// producer tracks its own estimate per shard (its lane is the thing being
+// batched); the result is mirrored into the shard's effBatch for Stats.
+// Timestamps can regress across flows; negative gaps are ignored, and gaps
+// are capped at one second before smoothing — any sustained gap that long
+// already means "flush immediately" (budget/1s < 1 packet), and the cap
+// keeps a single long idle period from dominating the estimate once
+// traffic resumes.
+func (pr *pair) adaptBatch(ts time.Time, budget time.Duration, max int, s *shard) int64 {
+	if !pr.lastTS.IsZero() {
+		if gap := ts.Sub(pr.lastTS).Seconds(); gap >= 0 {
+			if gap > 1 {
+				gap = 1
+			}
+			const alpha = 0.05 // smooth over ~20 packets
+			if pr.ewmaGap == 0 {
+				pr.ewmaGap = gap
+			} else {
+				pr.ewmaGap += alpha * (gap - pr.ewmaGap)
+			}
+		}
+	}
+	if ts.After(pr.lastTS) {
+		pr.lastTS = ts
+	}
+	eff := int64(max)
+	if pr.ewmaGap > 0 {
+		if n := int64(budget.Seconds() / pr.ewmaGap); n < eff {
+			eff = n
+		}
+		if eff < 1 {
+			eff = 1
+		}
+	}
+	s.effBatch.Store(eff)
+	return eff
+}
+
+// batchBufSize is the arena capacity a fresh batch starts with: one
+// MTU-class frame (payload plus any IPv4/TCP options, or the whole raw
+// frame) per packet. Recycled batches keep whatever larger capacity they
+// grew to, so this only bounds the allocation a brand-new batch pays once.
+const batchBufSize = 1536
+
+// newBatch recycles a drained batch from the lane's free ring or allocates
+// a fresh, fully pre-sized one (both entry styles pre-sized, so a style
+// switch never allocates in steady state).
+func (pr *pair) newBatch(batchSize int) batch {
+	if b, ok := pr.q.free.pop(); ok {
+		return b
+	}
+	return batch{
+		pkts:   make([]pkt, 0, batchSize),
+		frames: make([]frameRef, 0, batchSize),
+		buf:    make([]byte, 0, batchSize*batchBufSize),
+	}
+}
+
+// flushShard hands shard si's pending batch to its worker. Under
+// DropOverload a full lane drops the pending batch in place: the drop is a
+// pair of slice resets — the batch, arena included, never leaves the
+// producer, so shedding load allocates nothing and leaks nothing.
+// Otherwise the push blocks until the worker frees a slot (lossless
+// backpressure).
+func (p *Producer) flushShard(si int) {
+	pr := &p.pairs[si]
+	b := &pr.pending
+	n := len(b.pkts) + len(b.frames)
+	if n == 0 {
+		return
+	}
+	if p.e.cfg.DropOverload {
+		if pr.q.data.push(*b) {
+			pr.pending = batch{}
+			p.e.shards[si].wakeUp()
+		} else {
+			p.dropped.v.Add(int64(n))
+			b.pkts = b.pkts[:0]
+			b.frames = b.frames[:0]
+			b.buf = b.buf[:0]
+		}
+		return
+	}
+	out := *b
+	pr.pending = batch{}
+	p.pushBlocking(si, out)
+}
+
+// pushBlocking pushes b into shard si's lane, waiting out a full ring. The
+// producer yields while it waits (essential when producer and worker share
+// a core) and re-wakes the worker each round in case the first wake token
+// was consumed for an earlier batch. If the engine has already finished —
+// a contract violation, producers must stop first — the batch is shed as
+// dropped rather than spinning against workers that will never drain.
+func (p *Producer) pushBlocking(si int, b batch) {
+	s := p.e.shards[si]
+	for spins := 0; !p.pairs[si].q.data.push(b); spins++ {
+		s.wakeUp()
+		if p.e.finished.Load() {
+			p.dropped.v.Add(int64(len(b.pkts) + len(b.frames)))
+			return
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	s.wakeUp()
+}
+
+// pushControl enqueues an expire control message (see batch.expire) into
+// shard si's lane, after flushing the pending batch so the sweep stays
+// ordered after every packet this producer already handed in. Control
+// batches carry no buffers — pushing one allocates nothing. Under
+// DropOverload the control is best-effort, like packet batches: a shard
+// that can't keep up sheds the sweep rather than stalling the caller; the
+// next sweep catches up.
+func (p *Producer) pushControl(si int, now time.Time) {
+	p.flushShard(si)
+	b := batch{expire: now}
+	if p.e.cfg.DropOverload {
+		if p.pairs[si].q.data.push(b) {
+			p.e.shards[si].wakeUp()
+		}
+		return
+	}
+	p.pushBlocking(si, b)
+}
+
+// expire pushes an expire control at instant now through every lane. The
+// sweep orders exactly with this producer's own stream; batches another
+// producer has queued or pending are swept by that producer's next tick
+// (see the package doc's eviction-ordering note).
+func (p *Producer) expire(now time.Time) {
+	for si := range p.pairs {
+		p.pushControl(si, now)
+	}
+}
+
+// Flush pushes every partially filled batch to its shard without waiting
+// for the workers to drain them. Call at quiet points of a long-running
+// capture so tail packets are not stuck behind the batch threshold.
+func (p *Producer) Flush() {
+	for si := range p.pairs {
+		p.flushShard(si)
+	}
+}
+
+// Close flushes the producer's pending batches. The producer's lanes stay
+// registered with the shards (an empty lane costs the worker one atomic
+// load per drain pass) and its counters keep contributing to Stats; the
+// handle must not be used again. Close before Engine.Finish.
+func (p *Producer) Close() {
+	p.Flush()
+}

@@ -1,0 +1,62 @@
+package engine
+
+import "sync/atomic"
+
+// spscRing is a bounded single-producer/single-consumer batch queue: one
+// goroutine pushes, one goroutine pops, and neither ever takes a lock. The
+// producer owns tail, the consumer owns head, and each side reads the
+// other's index atomically — the pair of atomic stores/loads provides the
+// happens-before edge that makes the plain slot accesses safe (a slot is
+// only written by the producer after the consumer's head store proves it
+// was vacated, and only read by the consumer after the producer's tail
+// store proves it was filled).
+//
+// Capacity is rounded up to a power of two so the index wrap is a mask.
+// The indices are free-running uint64s; tail-head is the occupancy even
+// across wraparound.
+type spscRing struct {
+	slots []batch
+	mask  uint64
+	_     [64]byte // keep head and tail on distinct cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+}
+
+// newSPSCRing builds a ring holding at least capacity batches.
+func newSPSCRing(capacity int) *spscRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{slots: make([]batch, n), mask: uint64(n - 1)}
+}
+
+// push enqueues b, returning false when the ring is full. Producer side
+// only: at most one goroutine may push.
+func (r *spscRing) push(b batch) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.slots)) {
+		return false
+	}
+	r.slots[t&r.mask] = b
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop dequeues the oldest batch, returning false when the ring is empty.
+// The vacated slot is zeroed so the ring never pins a retired batch's
+// buffers against the GC. Consumer side only: at most one goroutine may
+// pop.
+func (r *spscRing) pop() (batch, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return batch{}, false
+	}
+	slot := &r.slots[h&r.mask]
+	b := *slot
+	*slot = batch{}
+	r.head.Store(h + 1)
+	return b, true
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// seqBatch tags a batch with a sequence number through its expire field —
+// the only batch field the ring tests need, and enough to witness ordering.
+func seqBatch(i int) batch {
+	return batch{expire: time.Unix(0, int64(i))}
+}
+
+func seqOf(b batch) int {
+	return int(b.expire.UnixNano())
+}
+
+// TestRingBoundary walks the full/empty edges: a fresh ring pops nothing,
+// a full ring refuses a push without losing the refused batch's slot, and
+// the drain that follows returns everything in push order.
+func TestRingBoundary(t *testing.T) {
+	r := newSPSCRing(3) // rounds up to 4 slots
+	if len(r.slots) != 4 {
+		t.Fatalf("capacity 3 rounded to %d slots, want 4", len(r.slots))
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 1; i <= 4; i++ {
+		if !r.push(seqBatch(i)) {
+			t.Fatalf("push %d into non-full ring failed", i)
+		}
+	}
+	if r.push(seqBatch(99)) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 1; i <= 4; i++ {
+		b, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d from non-empty ring failed", i)
+		}
+		if seqOf(b) != i {
+			t.Fatalf("pop %d returned seq %d, want FIFO", i, seqOf(b))
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from drained ring succeeded")
+	}
+}
+
+// TestRingCapacityOne pins the degenerate one-slot ring (QueueDepth: 1, the
+// drop-overload tests' configuration): exactly one batch fits.
+func TestRingCapacityOne(t *testing.T) {
+	r := newSPSCRing(1)
+	if !r.push(seqBatch(1)) {
+		t.Fatal("push into empty one-slot ring failed")
+	}
+	if r.push(seqBatch(2)) {
+		t.Fatal("second push into one-slot ring succeeded")
+	}
+	if b, ok := r.pop(); !ok || seqOf(b) != 1 {
+		t.Fatalf("pop = (%v, %v), want seq 1", b, ok)
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from emptied one-slot ring succeeded")
+	}
+}
+
+// TestRingWraparound interleaves pushes and pops so the indices lap the
+// slot array several times, checking FIFO order survives the wrap.
+func TestRingWraparound(t *testing.T) {
+	r := newSPSCRing(4)
+	next, expect := 1, 1
+	for lap := 0; lap < 10; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(seqBatch(next)) {
+				t.Fatalf("push %d failed with %d queued", next, next-expect)
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			b, ok := r.pop()
+			if !ok {
+				t.Fatalf("pop %d failed", expect)
+			}
+			if seqOf(b) != expect {
+				t.Fatalf("pop returned seq %d, want %d", seqOf(b), expect)
+			}
+			expect++
+		}
+	}
+}
+
+// TestRingConcurrentFIFO is the per-lane ordering regression: one producer
+// goroutine pushes sequence-numbered batches while the consumer drains, and
+// every batch must come out exactly once, in push order — the invariant the
+// engine's per-flow processing order (and so the shard-vs-pipeline byte
+// equivalence) stands on. Run under -race, the atomics in push/pop are also
+// checked as the only synchronization the handoff has.
+func TestRingConcurrentFIFO(t *testing.T) {
+	const n = 200000
+	r := newSPSCRing(8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			for !r.push(seqBatch(i)) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for expect := 1; expect <= n; {
+		b, ok := r.pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if seqOf(b) != expect {
+			t.Fatalf("pop returned seq %d, want %d", seqOf(b), expect)
+		}
+		expect++
+	}
+	<-done
+	if _, ok := r.pop(); ok {
+		t.Fatal("ring non-empty after consuming every pushed batch")
+	}
+}

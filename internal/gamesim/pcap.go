@@ -190,6 +190,18 @@ func ReplayFlow(pkts []trace.Pkt, ep Endpoints, start time.Time, handle func(ts 
 	return nil
 }
 
+// ReplayFlowFrames is ReplayFlow without the decode: each rebuilt raw
+// Ethernet frame goes to handle directly. The frame aliases the builder's
+// internal buffer — valid only until handle returns, exactly a capture
+// loop's read-buffer discipline — which is what the engine's zero-copy
+// Producer.HandleFrame path expects to be fed with.
+func ReplayFlowFrames(pkts []trace.Pkt, ep Endpoints, start time.Time, handle func(ts time.Time, frame []byte)) {
+	fb := NewFrameBuilder(ep)
+	for _, p := range pkts {
+		handle(start.Add(p.T), fb.Build(p))
+	}
+}
+
 // PacketStream is a synthesized multi-flow capture feed: one expanded
 // payload-record stream per session, each with its own endpoints and a
 // staggered start so flows interleave the way they do at a gateway tap.
@@ -234,6 +246,13 @@ func (st *PacketStream) Replay(handle func(ts time.Time, dec *packet.Decoded, pa
 // for per-flow feeder goroutines.
 func (st *PacketStream) ReplayOne(i int, handle func(ts time.Time, dec *packet.Decoded, payload []byte)) error {
 	return ReplayFlow(st.Flows[i], st.Eps[i], st.Starts[i], handle)
+}
+
+// ReplayOneFrames replays just flow i as raw Ethernet frames
+// (ReplayFlowFrames), for per-flow feeder goroutines driving the engine's
+// raw-frame ingest path.
+func (st *PacketStream) ReplayOneFrames(i int, handle func(ts time.Time, frame []byte)) {
+	ReplayFlowFrames(st.Flows[i], st.Eps[i], st.Starts[i], handle)
 }
 
 // ReplayFrames interleaves several per-flow payload-record streams into one

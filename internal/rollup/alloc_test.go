@@ -39,3 +39,46 @@ func TestRollupObserveAllocs(t *testing.T) {
 		t.Fatalf("Rollup.Observe (pattern path) allocates %.1f/op, want 0", n)
 	}
 }
+
+// TestRollupRotationAllocs pins bucket rotation at zero allocations: every
+// Observe below advances End by exactly one bucket width, so each lands in
+// a fresh bucket and rotates a ring slot that already aggregated a previous
+// lap. The rotated slot must reset its maps and sketches in place — before
+// pooling, each rotation rebuilt both percentile sketches (~1.5 KB of
+// centroids each), the regression BENCH_5 recorded as
+// BenchmarkRollupIngest going 4→8 allocs/op.
+func TestRollupRotationAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are only pinned in the plain build")
+	}
+	const buckets = 12
+	window := time.Hour
+	width := window / buckets
+	r := New(Config{Window: window, Buckets: buckets})
+	base := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	e := Entry{
+		Subscriber:   netip.AddrFrom4([4]byte{10, 9, 8, 7}),
+		Title:        "Fortnite",
+		MeanDownMbps: 14,
+		QoEProxy:     0.83,
+	}
+	e.StageMinutes[2] = 3.5
+	// Warm one full lap plus one rotation, so every ring slot holds a
+	// populated bucket and the rotation path itself has run once.
+	step := 0
+	observe := func() {
+		step++
+		e.End = base.Add(time.Duration(step) * width)
+		r.Observe(e)
+	}
+	for i := 0; i < buckets+1; i++ {
+		observe()
+	}
+	if n := testing.AllocsPerRun(300, observe); n != 0 {
+		t.Fatalf("rotating Observe allocates %.1f/op, want 0", n)
+	}
+	st := r.Stats()
+	if st.Late != 0 {
+		t.Fatalf("rotation test lost entries as late: %+v", st)
+	}
+}

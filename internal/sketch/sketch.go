@@ -170,6 +170,17 @@ func (s *Sketch) Add(v float64) {
 	s.total++
 }
 
+// Reset empties the sketch in place, keeping its geometry and centroid
+// buffer: the warm path for containers that cycle sketches — the rollup's
+// bucket rotation resets a rotated bucket's sketches instead of paying
+// New's centroid-buffer allocation once per subscriber per bucket width.
+// Allocation-free.
+func (s *Sketch) Reset() {
+	s.zero = 0
+	s.total = 0
+	clear(s.counts)
+}
+
 // SameGeometry reports whether o can be merged into s.
 func (s *Sketch) SameGeometry(o *Sketch) bool { return s.cfg == o.cfg }
 
