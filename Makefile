@@ -18,9 +18,9 @@ GOFMT ?= gofmt
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate mergesmoke scalegate
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate
 
-check: fmt vet build race allocgate benchsmoke ckptsmoke mergesmoke scalegate
+check: fmt vet build race allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -48,17 +48,29 @@ race:
 allocgate:
 	$(GO) test -run 'Allocs$$' -count=1 ./internal/mlkit ./internal/features ./internal/stageclass ./internal/rollup ./internal/sketch
 
+# The report-path allocation pins, same plain-build rule as allocgate: one
+# full emitter drain — shard report rings → Sink + BatchSink → sharded
+# rollup fold → recycle rings — and one Rollup.ObserveBatch fold must both
+# measure 0 allocs/op, so a regression that puts an allocation back on the
+# per-report emission path fails CI by name rather than as a B/op drift in
+# the bench trajectory.
+sinkgate:
+	$(GO) test -run 'TestEmitterDrainAllocs|TestRollupObserveBatchAllocs' -count=1 ./internal/engine ./internal/rollup
+
 # The engine scaling curve vs the single-threaded pipeline, the lifecycle
 # memory-bound comparison, the rollup report-stream hot path, and the
 # full-path steady-state benchmark. Fixed methodology: -benchtime 3x
 # -count 3, and benchjson keeps each benchmark's fastest run (min-of-N is
 # the standard noise filter — the fastest run is the least
 # scheduler-disturbed) plus a _meta entry recording GOMAXPROCS and the CPU
-# count the numbers are conditional on. Results land in BENCH_6.json
+# count the numbers are conditional on. Results land in BENCH_7.json
 # (benchmark → ns/op, B/op, allocs/op, custom metrics) so the perf
-# trajectory is machine-readable across PRs.
+# trajectory is machine-readable across PRs. BenchmarkEmitterDrain (in
+# internal/engine; benchjson folds the multi-package stream into one file)
+# isolates the per-report emission cost — ring pop → sinks → rollup fold →
+# recycle — whose reports/s and B/op track the lock-free report path.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState' -benchmem -benchtime 3x -count 3 . | $(GO) run ./cmd/benchjson -o BENCH_6.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState|BenchmarkEmitterDrain' -benchmem -benchtime 3x -count 3 . ./internal/engine | $(GO) run ./cmd/benchjson -o BENCH_7.json
 
 # One cheap iteration of the lifecycle, rollup and steady-state benches in
 # short mode: a CI smoke that the bench code compiles and its invariants

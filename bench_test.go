@@ -342,13 +342,15 @@ func evictionStream(b *testing.B) *gamesim.PacketStream {
 }
 
 // BenchmarkSteadyState drives a long multi-flow capture through the full
-// deployment path — sharded engine → per-shard pipelines → per-subscriber
-// rollup, with TTL eviction streaming reports through the merged sink — and
-// reports ns/pkt, pkts/s and (via ReportAllocs) the per-iteration B/op that
-// the zero-allocation hot-path work tracks across PRs (BENCH_4.json). Before
-// timing, it pins the correctness side: the order-normalized report set is
-// byte-identical at shards 1..8 and identical to the single-threaded
-// pipeline on the same capture.
+// deployment path — sharded engine → per-shard pipelines → per-shard report
+// rings → emitter → sharded per-subscriber rollup, with TTL eviction
+// streaming recycled reports through the batched sink — and reports ns/pkt,
+// pkts/s, reports/s and (via ReportAllocs) the per-iteration B/op that the
+// zero-allocation hot-path work tracks across PRs (BENCH_7.json; the
+// per-report emission cost in isolation is BenchmarkEmitterDrain in
+// internal/engine). Before timing, it pins the correctness side: the
+// order-normalized report set is byte-identical at shards 1..8 and
+// identical to the single-threaded pipeline on the same capture.
 func BenchmarkSteadyState(b *testing.B) {
 	m := engineModels(b)
 	st := evictionStream(b)
@@ -389,11 +391,12 @@ func BenchmarkSteadyState(b *testing.B) {
 		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
+			var emitted int64
 			for i := 0; i < b.N; i++ {
-				ru := NewRollup(RollupConfig{Window: time.Hour, Buckets: 12})
+				ru := NewShardedRollup(shards, RollupConfig{Window: time.Hour, Buckets: 12})
 				eng := NewEngine(EngineConfig{
 					Shards:     shards,
-					Sink:       ru.Sink(),
+					BatchSink:  ru.BatchSink(),
 					StreamOnly: true,
 					Pipeline:   PipelineConfig{FlowTTL: 15 * time.Second},
 				}, m)
@@ -401,6 +404,7 @@ func BenchmarkSteadyState(b *testing.B) {
 					b.Fatal(err)
 				}
 				eng.Finish()
+				emitted += eng.Stats().EmittedReports
 				if rs := ru.Stats(); rs.Ingested+rs.Late != int64(len(st.Flows)) {
 					b.Fatalf("rollup saw %d entries, want %d", rs.Ingested+rs.Late, len(st.Flows))
 				}
@@ -409,6 +413,7 @@ func BenchmarkSteadyState(b *testing.B) {
 			pkts := float64(st.Total) * float64(b.N)
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pkts, "ns/pkt")
 			b.ReportMetric(pkts/b.Elapsed().Seconds(), "pkts/s")
+			b.ReportMetric(float64(emitted)/b.Elapsed().Seconds(), "reports/s")
 		})
 	}
 }

@@ -24,14 +24,24 @@
 // With -rollup, every report also feeds a per-subscriber sliding window
 // (session counts, per-title share, stage minutes, objective-vs-effective
 // QoE, throughput/QoE-proxy percentiles), printed as an operator dashboard
-// at end of run. -checkpoint makes the window durable: the rollup is
+// at end of run. The window runs sharded (-rollup-shards, default matching
+// the engine's shard count): reports reach it through the engine's
+// batched emitter drain, shard-local rollups aggregate with zero shared
+// state, and the printed dashboard and checkpoint are the merged view —
+// byte-identical to an unsharded run. -checkpoint makes the window
+// durable: the rollup is
 // restored from the file when it exists (a restarted monitor resumes its
-// aggregations) and atomically rewritten at end of run. A checkpoint
+// aggregations, unsharded — a checkpoint cannot be re-partitioned) and
+// atomically rewritten at end of run. A checkpoint
 // carries its own window geometry; if -rollup asks for a different one,
 // resuming would silently re-bucket history wrong, so classify refuses
 // (non-zero exit) unless -rollup-force explicitly accepts the checkpoint's
 // geometry. Multiple taps' checkpoints merge into one fleet view with the
 // rollupmerge command.
+//
+// At end of run classify also prints the report-path counters — reports
+// emitted and recycled, and the emitter queue depth — the observability
+// surface of the engine's lock-free emission path.
 //
 // The usage line below is usageLine in main.go — flag.Usage and this
 // comment share it as the single source of truth; keep them in sync with
@@ -39,7 +49,7 @@
 //
 // Usage:
 //
-//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] [-rollup-force] capture.pcap
+//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-rollup-force] capture.pcap
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"gamelens"
@@ -60,7 +71,7 @@ import (
 // and the package comment's Usage section quotes it. A flag added here must
 // be added to the flag set below (and vice versa) or the mismatch is
 // visible in -h output next to PrintDefaults.
-const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-checkpoint FILE] [-rollup-force] capture.pcap"
+const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-rollup-force] capture.pcap"
 
 func main() {
 	log.SetFlags(0)
@@ -72,6 +83,7 @@ func main() {
 	shards := flag.Int("shards", 0, "analysis worker shards (0 = all cores)")
 	flowTTL := flag.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
 	rollupWin := flag.Duration("rollup", 0, "maintain per-subscriber sliding-window aggregates over this window of capture time and print the dashboard at the end (0 = off unless -checkpoint is set, then 1h)")
+	rollupShards := flag.Int("rollup-shards", 0, "shard-local rollup fan-out (0 = match the engine's shard count; forced to 1 when resuming a checkpoint)")
 	checkpoint := flag.String("checkpoint", "", "rollup checkpoint file: restored at startup when present, atomically rewritten at end of run")
 	rollupForce := flag.Bool("rollup-force", false, "resume from a checkpoint whose window geometry conflicts with -rollup (the checkpoint's geometry wins)")
 	flag.Usage = func() {
@@ -103,10 +115,17 @@ func main() {
 		log.Printf("loaded title model from %s", *modelPath)
 	}
 
-	// The per-subscriber rollup window, possibly resumed from a checkpoint.
-	var ru *gamelens.Rollup
+	// The per-subscriber rollup window, sharded to match the engine unless
+	// resumed from a checkpoint (which cannot be re-partitioned).
+	var ru *gamelens.ShardedRollup
 	if *rollupWin > 0 || *checkpoint != "" {
-		resolved, resumed, err := resolveRollup(*checkpoint, *rollupWin, *rollupForce)
+		nShards := *rollupShards
+		if nShards <= 0 {
+			if nShards = *shards; nShards <= 0 {
+				nShards = runtime.GOMAXPROCS(0)
+			}
+		}
+		resolved, resumed, err := resolveRollup(*checkpoint, *rollupWin, nShards, *rollupForce)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -126,22 +145,21 @@ func main() {
 			FlowTTL: *flowTTL,
 		},
 	}
+	// The rollup always rides the emitter's batched drain: one lock
+	// acquisition per drained shard batch instead of one per report.
+	if ru != nil {
+		cfg.BatchSink = ru.BatchSink()
+	}
 	streaming := *flowTTL > 0
-	switch {
-	case streaming && ru != nil:
-		rollupSink := ru.Sink()
-		cfg.Sink = func(r *gamelens.SessionReport) { printReport(r); rollupSink(r) }
-		cfg.StreamOnly = true
-	case streaming:
+	if streaming {
 		// In streaming mode every report — evicted mid-replay or finalized
 		// by Finish — prints through the sink, in emission order; the
 		// end-of-run loop below is skipped. StreamOnly keeps the engine
-		// from also retaining each report for Finish, so memory really is
+		// from also retaining each report for Finish (spent reports are
+		// recycled to the shard pipelines instead), so memory really is
 		// bounded by concurrently active flows.
 		cfg.Sink = printReport
 		cfg.StreamOnly = true
-	case ru != nil:
-		cfg.Sink = ru.Sink()
 	}
 	eng := gamelens.NewEngine(cfg, models)
 
@@ -175,6 +193,8 @@ func main() {
 	stats := eng.Stats()
 	log.Printf("processed %d frames on %d shards (%d gaming flows, %d evicted by TTL, %d undecodable)",
 		frames, stats.Shards, stats.Flows(), stats.EvictedFlows, stats.DecodeErrors)
+	log.Printf("report path: %d emitted, %d recycled, emitter queue depth %d",
+		stats.EmittedReports, stats.RecycledReports, stats.ReportBacklog)
 	if stats.EmittedReports == 0 {
 		fmt.Println("no cloud-gaming streaming flows detected")
 	} else if !streaming {
@@ -183,9 +203,16 @@ func main() {
 		}
 	}
 	if ru != nil {
-		printRollup(ru)
+		// Merge the shard-local windows once; the dashboard and the
+		// checkpoint both come off the merged view, byte-identical to what
+		// an unsharded run would have produced.
+		merged, err := ru.Merged()
+		if err != nil {
+			log.Fatalf("merging rollup shards: %v", err)
+		}
+		printRollup(merged, ru.NumShards())
 		if *checkpoint != "" {
-			if err := ru.SaveFile(*checkpoint); err != nil {
+			if err := merged.SaveFile(*checkpoint); err != nil {
 				log.Fatalf("checkpointing rollup: %v", err)
 			}
 			log.Printf("rollup checkpointed to %s", *checkpoint)
@@ -194,14 +221,16 @@ func main() {
 }
 
 // resolveRollup builds the monitor's rollup window: restored from the
-// checkpoint when path names an existing file, fresh over window otherwise.
+// checkpoint when path names an existing file (wrapped as a single-shard
+// front-end — a checkpoint cannot be re-partitioned), fresh and sharded
+// across shards otherwise.
 // A checkpoint carries its own window geometry (span and bucket count);
 // resuming it under a conflicting -rollup would silently re-bucket the
 // restored history wrong, so a mismatch between the checkpoint's geometry
 // and what -rollup would configure is an error unless force (the
 // -rollup-force flag) explicitly accepts the checkpoint's geometry. The
 // resumed result reports whether a checkpoint was restored.
-func resolveRollup(path string, window time.Duration, force bool) (ru *gamelens.Rollup, resumed bool, err error) {
+func resolveRollup(path string, window time.Duration, shards int, force bool) (ru *gamelens.ShardedRollup, resumed bool, err error) {
 	if path != "" {
 		restored, err := gamelens.LoadRollup(path)
 		switch {
@@ -218,12 +247,15 @@ func resolveRollup(path string, window time.Duration, force bool) (ru *gamelens.
 						window, got.Window, got.Buckets)
 				}
 			}
-			return restored, true, nil
+			if shards > 1 {
+				log.Printf("resuming from a checkpoint: rollup runs unsharded (-rollup-shards %d ignored)", shards)
+			}
+			return gamelens.ShardedRollupFrom(restored), true, nil
 		case !os.IsNotExist(err):
 			return nil, false, fmt.Errorf("restoring rollup: %w", err)
 		}
 	}
-	return gamelens.NewRollup(gamelens.RollupConfig{Window: window}), false, nil
+	return gamelens.NewShardedRollup(shards, gamelens.RollupConfig{Window: window}), false, nil
 }
 
 // printReport renders one session report; in streaming mode it is (part of)
@@ -235,11 +267,11 @@ func printReport(rep *gamelens.SessionReport) {
 		rep.StageMinutes[trace.StageIdle])
 }
 
-// printRollup renders the per-subscriber dashboard for the current window.
-func printRollup(ru *gamelens.Rollup) {
+// printRollup renders the per-subscriber dashboard for the merged window.
+func printRollup(ru *gamelens.Rollup, shards int) {
 	aggs := ru.Subscribers()
-	fmt.Printf("\nper-subscriber window (clock %v, %d subscribers):\n",
-		ru.Clock().Format(time.RFC3339), len(aggs))
+	fmt.Printf("\nper-subscriber window (clock %v, %d subscribers, %d rollup shards):\n",
+		ru.Clock().Format(time.RFC3339), len(aggs), shards)
 	for _, a := range aggs {
 		w := a.Window
 		mbps := w.ThroughputPercentiles()

@@ -51,11 +51,37 @@
 // per reader goroutine; a producer is strictly single-goroutine, and each
 // flow must stay on one producer). Engine.HandlePacket/HandleFrame remain
 // as shared mutex-guarded entry points with the old semantics for callers
-// that don't manage producer handles. Report emission is part of the same
-// model: shard pipelines evict and finalize flows on their own worker
-// goroutines, and the Engine serializes all of them through one merged
-// sink, so an EngineConfig.Sink callback never runs concurrently with
-// itself.
+// that don't manage producer handles.
+//
+// # Report path
+//
+// Emission mirrors ingest, lock-free end to end. Each shard pipeline
+// finalizes flows on its own worker goroutine and pushes the reports into
+// a private SPSC report ring; a single emitter goroutine drains every
+// shard's ring and delivers to the user sinks — EngineConfig.Sink per
+// report, EngineConfig.BatchSink per drained run — so a sink callback
+// never runs concurrently with itself, and a slow sink backs up only the
+// emitting shard's ring instead of stalling every worker behind a shared
+// lock. Report ownership follows the same borrow discipline as the batch
+// arenas. With EngineConfig.StreamOnly set (streaming is the sole
+// delivery path), spent reports ride a reverse ring back to the emitting
+// shard's pipeline for reuse, so steady-state emission allocates nothing;
+// a sink that keeps anything past the callback must copy the
+// SessionReport struct value (the copy is self-contained — the Flow it
+// points to is never reused). Without StreamOnly the engine retains every
+// report for Finish, recycling is off, and sink-held pointers stay valid
+// forever, exactly as before.
+//
+// For the aggregation tier, ShardedRollup (NewShardedRollup) is the
+// matching fan-out over Rollup: N shard-local rollups with zero shared
+// state, entries hash-partitioned by subscriber address, and the merged
+// view defined as Rollup.Merge of the shards — byte-identical to a
+// single-rollup run of the same entries (checkpoints included), because
+// each session is observed by exactly one shard and merge is cell-wise
+// union-sum. Wire it to an engine with
+// EngineConfig{BatchSink: ru.BatchSink()}: the emitter then folds each
+// drained run under one lock acquisition per shard batch
+// (Rollup.ObserveBatch) instead of one per report.
 //
 // # Flow lifecycle
 //
@@ -141,10 +167,16 @@
 //     and one title decision per flow (feature bucketing state is pooled
 //     package-wide; the classification itself runs in pipeline-owned
 //     scratch).
-//   - Per report: one SessionReport at eviction/Finish; a rollup absorbs
-//     it with zero allocations once its subscriber's window bucket is warm
-//     — percentile sketch insertion included, since each sketch owns its
+//   - Per report: nothing in a streaming deployment. Under StreamOnly the
+//     emitter recycles every delivered SessionReport back to the emitting
+//     shard's pipeline through a reverse ring (the report path above), so
+//     eviction storms emit with zero garbage — pinned at 0 allocs/op by
+//     the sinkgate test. A rollup absorbs each report with zero
+//     allocations once its subscriber's window bucket is warm —
+//     percentile sketch insertion included, since each sketch owns its
 //     fixed centroid buffer (allocated once when the bucket rotates).
+//     Retention mode (no StreamOnly) allocates one report per flow, the
+//     price of Finish's complete return value.
 //
 // Scratch-buffer borrow rules, for callers composing the internals: every
 // `...Into(x, dst)` method (mlkit.Classifier.PredictProbaInto,
@@ -159,11 +191,12 @@
 // without materializing any per-tree distribution.
 //
 // BenchmarkSteadyState drives the full engine→pipeline→rollup path and
-// reports ns/pkt, pkts/s and B/op; `make bench` records the trajectory in
-// BENCH_6.json (best-of-N per benchmark, with the host's GOMAXPROCS and
-// CPU count in the _meta entry), `make check`'s allocgate pins the 0-alloc
-// guarantees, and its scalegate smoke fails if running shards=GOMAXPROCS
-// ever drops below single-shard throughput.
+// reports ns/pkt, pkts/s, reports/s and B/op; `make bench` records the
+// trajectory in BENCH_7.json (best-of-N per benchmark, with the host's
+// GOMAXPROCS and CPU count in the _meta entry), `make check`'s allocgate
+// and sinkgate pin the 0-alloc guarantees (ingest and emission
+// respectively), and its scalegate smoke fails if running
+// shards=GOMAXPROCS ever drops below single-shard throughput.
 //
 // Quickstart:
 //
@@ -245,6 +278,12 @@ type (
 	SubscriberAggregate = rollup.Aggregate
 	// RollupStats are the rollup's observability counters.
 	RollupStats = rollup.Stats
+	// ShardedRollup fans entries across N shard-local rollups (zero shared
+	// state; merged view byte-identical to a single rollup) — the
+	// aggregation-tier counterpart of Engine over Pipeline. Wire its
+	// BatchSink() into EngineConfig.BatchSink for the lock-amortized
+	// emitter drain path.
+	ShardedRollup = rollup.Sharded
 	// RollupPercentiles is a sketched distribution read at p50/p90/p99.
 	RollupPercentiles = rollup.Percentiles
 	// QuantileSketch is the deterministic mergeable quantile sketch rollup
@@ -341,6 +380,23 @@ func NewEngine(cfg EngineConfig, m *Models) *Engine {
 // RollupConfig keeps a one-hour window in twelve buckets.
 func NewRollup(cfg RollupConfig) *Rollup {
 	return rollup.New(cfg)
+}
+
+// NewShardedRollup builds n empty shard-local rollups of identical
+// geometry behind one fan-out front-end (n < 1 is treated as 1). Merged
+// queries and checkpoints are byte-identical to a single rollup fed the
+// same entries, so sharded and unsharded monitors interoperate.
+func NewShardedRollup(n int, cfg RollupConfig) *ShardedRollup {
+	return rollup.NewSharded(n, cfg)
+}
+
+// ShardedRollupFrom wraps an existing Rollup — typically a checkpoint
+// restore — as a single-shard ShardedRollup, so a resumed monitor runs the
+// same code path as a fresh sharded one. A checkpoint cannot be
+// re-partitioned (it does not record which shard observed what), so resume
+// keeps one shard and the wrapped rollup's clock.
+func ShardedRollupFrom(r *Rollup) *ShardedRollup {
+	return rollup.ShardedFrom(r)
 }
 
 // RestoreRollup rebuilds a rollup from a checkpoint written by

@@ -108,12 +108,14 @@ func (p *Pipeline) sweep() int {
 // finalize closes out one session: a pending title decision is forced (the
 // launch window may not have elapsed on a short or truncated flow) and the
 // report is stamped with the session's packet-time bounds and eviction
-// status.
+// status. The report struct comes off the pipeline's free list when a
+// consumer has recycled one (RecycleReport), so a monitor whose sink
+// returns reports after delivery emits with zero steady-state allocation.
 func (p *Pipeline) finalize(fs *FlowSession, evicted bool) *SessionReport {
 	if !fs.TitleDecided && len(fs.launchBuf) > 0 {
 		p.decideTitle(fs)
 	}
-	r := fs.Report()
+	r := fs.ReportInto(p.newReport())
 	r.End = fs.LastSeen
 	r.Evicted = evicted
 	return r

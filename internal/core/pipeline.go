@@ -93,6 +93,9 @@ type Pipeline struct {
 	// launchFree recycles decided flows' launch buffers for later flows.
 	titleSc    titleclass.Scratch
 	launchFree [][]trace.Pkt
+	// reportFree recycles spent SessionReports handed back through
+	// RecycleReport; finalize rewrites them in place via ReportInto.
+	reportFree []*SessionReport
 }
 
 // New assembles a pipeline around trained classifiers.
@@ -166,6 +169,14 @@ type FlowSession struct {
 }
 
 // SessionReport is the final or interim summary for one flow.
+//
+// Ownership: a report returned by Finish (or Pipeline-retained for it) is
+// the caller's to keep. A report delivered through a recycling consumer —
+// the sharded engine's sink in StreamOnly mode, where spent reports return
+// to the emitting pipeline for reuse — is borrowed for the duration of the
+// sink call only; copy the struct value to retain it (the copy stays
+// valid: the struct is self-contained and the Flow it points to is never
+// reused).
 type SessionReport struct {
 	Flow         *flowdetect.Flow
 	Title        titleclass.Result
@@ -385,9 +396,21 @@ func estimateFrameRate(slot trace.Slot, i time.Duration) float64 {
 	return fps
 }
 
-// Report summarizes one flow session.
+// Report summarizes one flow session into a freshly allocated report.
 func (fs *FlowSession) Report() *SessionReport {
-	r := &SessionReport{
+	return fs.ReportInto(new(SessionReport))
+}
+
+// ReportInto summarizes the flow session through caller-owned dst,
+// following the same borrow convention as the ...Into scratch methods:
+// every field of dst is overwritten (no state leaks from a previous use),
+// the result references nothing the session retains, and dst itself is
+// returned. This is the recycling entry point — the sharded engine's
+// emitter returns spent reports through per-shard reverse rings and the
+// pipeline rewrites them here, so steady-state report emission allocates
+// nothing (see RecycleReport).
+func (fs *FlowSession) ReportInto(dst *SessionReport) *SessionReport {
+	*dst = SessionReport{
 		Flow:           fs.Flow,
 		Title:          fs.Title,
 		Pattern:        fs.Pattern,
@@ -398,12 +421,44 @@ func (fs *FlowSession) Report() *SessionReport {
 		EffectiveScore: qoe.SessionScoreFromCounts(fs.effCounts),
 	}
 	if fs.secs > 0 {
-		r.MeanDownMbps = float64(fs.bytesDown) * 8 / fs.secs / 1e6
+		dst.MeanDownMbps = float64(fs.bytesDown) * 8 / fs.secs / 1e6
 	}
 	if !fs.PatternKnown && fs.tracker != nil && fs.tracker.Transitions().Total() > 0 {
-		r.Pattern = fs.tracker.ForcePattern()
+		dst.Pattern = fs.tracker.ForcePattern()
 	}
-	return r
+	return dst
+}
+
+// reportFreeMax bounds the pipeline's report free list. Reports in
+// circulation are bounded by the consumer's queue depth (the engine's
+// per-shard emission ring), so the cap only matters if a caller recycles
+// more reports than it ever borrowed; beyond it the GC takes over.
+const reportFreeMax = 256
+
+// RecycleReport returns a spent report to the pipeline's free list: the
+// next finalization reuses it (ReportInto overwrites every field) instead
+// of allocating. The borrow contract is strict — by handing a report back,
+// the caller asserts nothing references it anymore; a consumer that
+// retained the pointer would observe it mutate into a different flow's
+// report. Call only from the goroutine that owns the pipeline (the
+// engine's shard worker recycles on the worker goroutine); a nil report is
+// ignored.
+func (p *Pipeline) RecycleReport(r *SessionReport) {
+	if r == nil || len(p.reportFree) >= reportFreeMax {
+		return
+	}
+	p.reportFree = append(p.reportFree, r)
+}
+
+// newReport pops a recycled report or allocates a fresh one.
+func (p *Pipeline) newReport() *SessionReport {
+	if n := len(p.reportFree); n > 0 {
+		r := p.reportFree[n-1]
+		p.reportFree[n-1] = nil
+		p.reportFree = p.reportFree[:n-1]
+		return r
+	}
+	return new(SessionReport)
 }
 
 // NumFlows returns the number of live gaming-flow sessions (created minus

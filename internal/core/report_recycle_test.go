@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"gamelens/internal/flowdetect"
+)
+
+// TestReportFreeList pins the recycling contract finalize rides on:
+// RecycleReport feeds newReport LIFO, nil is ignored, and the free list is
+// bounded so a consumer recycling faster than the pipeline finalizes
+// cannot grow it without limit.
+func TestReportFreeList(t *testing.T) {
+	p := &Pipeline{}
+	r := &SessionReport{MeanDownMbps: 42}
+	p.RecycleReport(r)
+	if got := p.newReport(); got != r {
+		t.Fatal("newReport did not reuse the recycled report")
+	}
+	if got := p.newReport(); got == r {
+		t.Fatal("free list handed out the same report twice")
+	}
+	p.RecycleReport(nil)
+	if len(p.reportFree) != 0 {
+		t.Fatalf("free list holds %d entries after recycling nil, want 0", len(p.reportFree))
+	}
+	for i := 0; i < reportFreeMax+8; i++ {
+		p.RecycleReport(new(SessionReport))
+	}
+	if len(p.reportFree) != reportFreeMax {
+		t.Fatalf("free list grew to %d, want the %d cap", len(p.reportFree), reportFreeMax)
+	}
+}
+
+// TestReportIntoOverwritesStaleFields pins ReportInto's reuse semantics: a
+// recycled report's every field is rewritten, so nothing from the previous
+// session — End, Evicted, throughput — leaks into the next one.
+func TestReportIntoOverwritesStaleFields(t *testing.T) {
+	fs := &FlowSession{Flow: &flowdetect.Flow{}}
+	dst := &SessionReport{
+		End:          time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		Evicted:      true,
+		MeanDownMbps: 99,
+	}
+	got := fs.ReportInto(dst)
+	if got != dst {
+		t.Fatal("ReportInto must return its destination")
+	}
+	if !dst.End.IsZero() || dst.Evicted || dst.MeanDownMbps != 0 {
+		t.Fatalf("stale fields survived reuse: %+v", dst)
+	}
+	if dst.Flow != fs.Flow {
+		t.Fatal("ReportInto did not point the report at the session's flow")
+	}
+}

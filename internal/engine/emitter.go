@@ -1,0 +1,145 @@
+// The emitter side of the report path: shard pipelines push finalized
+// *core.SessionReports into per-shard SPSC rings, one emitter goroutine
+// drains every ring, feeds the user sink(s), and — in recycle mode — sends
+// the spent reports back through each shard's reverse ring so the shard
+// pipeline reuses them (core.Pipeline.RecycleReport) instead of
+// allocating. This mirrors the ingest side exactly: rings instead of
+// locks, a doorbell instead of polling, and ...Into-style ownership at
+// every handoff (see the package comment's report-path section).
+
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"gamelens/internal/core"
+)
+
+// pushReport is each shard pipeline's sink: it enqueues one finalized
+// report on the shard's report ring and rings the emitter's doorbell. The
+// caller is the ring's single producer — the shard worker while it runs,
+// then the Finish goroutine after wg.Wait() establishes the handover. A
+// full ring blocks (per shard; other shards keep ingesting) until the
+// emitter makes room: lossless backpressure that degrades one shard's
+// ingest instead of stalling the fleet behind a slow sink.
+func (e *Engine) pushReport(s *shard, r *core.SessionReport) {
+	for i := 0; !s.reports.push(r); i++ {
+		e.wakeEmitter()
+		if i < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	e.wakeEmitter()
+	// Reports the emitter has already recycled are reclaimed here, on the
+	// pipeline owner's goroutine, so the next finalize in this same sweep
+	// finds a free report waiting.
+	s.reclaim()
+}
+
+// reclaim moves every recycled report waiting on the shard's reverse ring
+// into the shard pipeline's free list. Caller must be the pipeline's
+// current owner (the shard worker, or Finish after the workers exit) —
+// that goroutine is also the reverse ring's single consumer.
+func (s *shard) reclaim() {
+	for {
+		r, ok := s.reportFree.pop()
+		if !ok {
+			return
+		}
+		s.pipe.RecycleReport(r)
+	}
+}
+
+// wakeEmitter rings the emitter's doorbell without blocking.
+func (e *Engine) wakeEmitter() {
+	select {
+	case e.emitWake <- struct{}{}:
+	default:
+	}
+}
+
+// runEmitter is the emitter goroutine: drain every shard's report ring,
+// deliver to the sinks, recycle or retain, sleep on the doorbell when
+// idle. Exits after Finish sets emitClosed and a final drain comes up
+// empty — the same close protocol as the shard workers, so no report
+// pushed before emitClosed can be lost.
+func (e *Engine) runEmitter() {
+	defer e.emitWG.Done()
+	for {
+		if e.drainReports() == 0 {
+			if e.emitClosed.Load() {
+				// Closed and drained: one final pass in case a shard
+				// pushed between the empty drain and the close flag.
+				if e.drainReports() == 0 {
+					break
+				}
+				continue
+			}
+			<-e.emitWake
+		}
+	}
+}
+
+// drainReports consumes every report currently queued across the shard
+// rings, returning how many it delivered. Per shard the run is popped into
+// the reusable scratch and handed to deliver as one batch, so the user
+// BatchSink (and a rollup behind it) pays one call — one lock — per run
+// instead of per report. Steady state allocates nothing: the scratch is
+// pre-sized to the ring capacity and reports return through the reverse
+// rings (sinkgate pins this at 0 allocs/op).
+func (e *Engine) drainReports() int {
+	total := 0
+	for _, s := range e.shards {
+		for {
+			batch := e.emitScratch[:0]
+			for len(batch) < cap(batch) {
+				r, ok := s.reports.pop()
+				if !ok {
+					break
+				}
+				batch = append(batch, r)
+			}
+			if len(batch) == 0 {
+				break
+			}
+			total += len(batch)
+			e.deliver(s, batch)
+		}
+	}
+	return total
+}
+
+// deliver feeds one drained batch to the configured sinks, then recycles
+// the reports back to the emitting shard (recycle mode) or retains them
+// for Finish. Reports handed to Sink/BatchSink in recycle mode are
+// borrowed for the duration of the call — core.SessionReport documents
+// the copy-to-retain rule. A full reverse ring drops the overflow to the
+// GC rather than blocking: recycling is an optimization, never a
+// correctness dependency, and the emitter must not stall once the shard
+// workers have exited.
+func (e *Engine) deliver(s *shard, reports []*core.SessionReport) {
+	e.emitted.Add(int64(len(reports)))
+	if e.cfg.Sink != nil {
+		for _, r := range reports {
+			e.cfg.Sink(r)
+		}
+	}
+	if e.cfg.BatchSink != nil {
+		e.cfg.BatchSink(reports)
+	}
+	if e.recycle {
+		n := 0
+		for _, r := range reports {
+			if !s.reportFree.push(r) {
+				break
+			}
+			n++
+		}
+		e.recycled.Add(int64(n))
+	} else {
+		e.streamed = append(e.streamed, reports...)
+	}
+}

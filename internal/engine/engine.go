@@ -38,10 +38,27 @@
 // original "safe for concurrent use, one goroutine per flow" contract for
 // callers that don't manage Producer handles.
 //
+// # Report path
+//
+// Emission runs the same discipline in reverse. Each shard worker owns a
+// private SPSC report ring into which its pipeline emits finalized
+// *core.SessionReports; a single emitter goroutine drains every shard's
+// ring, delivers each drained run to the user sinks (Config.Sink per
+// report, Config.BatchSink per run), and — when StreamOnly streaming makes
+// retention unnecessary — pushes the spent reports back through a reverse
+// ring so the shard pipeline reuses them (core.Pipeline.RecycleReport)
+// instead of allocating. No mutex exists anywhere on the steady-state
+// report path: a slow sink backs up one shard's ring and blocks only that
+// shard's emission, never the other shards' ingest. Reports delivered in
+// recycle mode are borrowed for the duration of the sink call (copy the
+// struct to retain — see core.SessionReport); without StreamOnly the
+// emitter retains every report for Finish and recycling is off, so
+// sink-held pointers stay valid forever.
+//
 // For long-running deployments the engine threads the core flow lifecycle
 // through the shards: each shard's pipeline evicts its own idle flows
 // (Config.Pipeline.FlowTTL), evicted and finished session reports stream
-// through a merged, concurrency-safe engine-level sink (Config.Sink), and
+// through the emitter to Config.Sink, and
 // Stats separates live residency (ActiveFlows, ShardFlows) from cumulative
 // volume (Flows, EvictedFlows). A shard's own eviction clock only advances
 // with its own traffic, but the engine also ticks every shard from the
@@ -100,10 +117,27 @@ type Config struct {
 	FlushLatency time.Duration
 	// Sink, when set, receives every merged SessionReport incrementally —
 	// evicted flows as their Pipeline.FlowTTL expires, the rest at Finish
-	// — serialized by the engine (no two calls run concurrently). The
-	// engine installs its own merged sink into each shard pipeline, so
-	// Pipeline.Sink is ignored; set stream behavior here.
+	// — always from the engine's single emitter goroutine, so no two calls
+	// ever run concurrently. The engine installs its own per-shard report
+	// ring as each shard pipeline's sink, so Pipeline.Sink is ignored; set
+	// stream behavior here. Under StreamOnly the delivered report is
+	// borrowed for the duration of the call (it will be recycled); copy
+	// the struct to retain it.
 	Sink core.ReportSink
+	// BatchSink, when set, receives each run of reports the emitter drains
+	// from one shard's ring — one call per drained batch instead of one per
+	// report, which is how a rollup consumer amortizes one lock
+	// acquisition per batch (rollup.Rollup.ObserveBatch). Called after
+	// Sink has seen each report of the batch. The slice is borrowed: the
+	// emitter reuses it for the next drain, and under StreamOnly the
+	// reports are recycled too.
+	BatchSink func(reports []*core.SessionReport)
+	// ReportQueue bounds each shard's report ring, in reports (default
+	// 256, rounded up to a power of two). A full ring blocks that shard's
+	// emission — and therefore its ingest, once its lanes also fill —
+	// until the emitter drains; other shards are unaffected (backpressure
+	// is per shard, never global).
+	ReportQueue int
 	// TickInterval is the automatic shard-clock tick cadence, in packet
 	// time: whenever the newest capture timestamp observed engine-wide has
 	// advanced TickInterval past the previous tick, the engine sweeps every
@@ -142,6 +176,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushLatency == 0 {
 		c.FlushLatency = 25 * time.Millisecond
 	}
+	if c.ReportQueue <= 0 {
+		c.ReportQueue = 256
+	}
 	return c
 }
 
@@ -168,9 +205,20 @@ type Stats struct {
 	ActiveFlows int
 	// EvictedFlows counts sessions finalized by TTL eviction.
 	EvictedFlows int64
-	// EmittedReports counts reports delivered through the merged sink
-	// (evictions plus Finish finalizations).
+	// EmittedReports counts reports the emitter has delivered (evictions
+	// plus Finish finalizations). A live read can trail the shard report
+	// rings by ReportBacklog; exact after Finish.
 	EmittedReports int64
+	// RecycledReports counts delivered reports returned to their shard
+	// pipeline's free list for reuse. Nonzero only in recycle mode
+	// (StreamOnly with a sink); the gap to EmittedReports is reports that
+	// went to the GC instead (reverse ring momentarily full, or retention
+	// mode).
+	RecycledReports int64
+	// ReportBacklog is the number of reports currently queued in the shard
+	// report rings awaiting the emitter — the emitter queue depth. A live
+	// gauge (racy but coherent per ring); 0 after Finish.
+	ReportBacklog int
 	// ShardFlows is the number of live gaming flows each shard tracks,
 	// post-eviction (use Flows for the cumulative count — dashboards that
 	// chart ShardFlows see residency, not volume). Values are exact after
@@ -273,6 +321,16 @@ type shard struct {
 	// input), so the frame path decodes with zero allocations.
 	dec packet.Decoded
 
+	// reports is the shard's emission lane: the shard pipeline's sink
+	// pushes finalized reports here (producer: the worker, then Finish
+	// after the workers exit), the emitter pops. reportFree is the reverse
+	// lane recycling spent reports (producer: the emitter; consumer: the
+	// worker via reclaim), sized past the data ring so a recycle push only
+	// overflows — and falls back to the GC — when the worker stops
+	// reclaiming at shutdown.
+	reports    *spscRing[*core.SessionReport]
+	reportFree *spscRing[*core.SessionReport]
+
 	// counts is the worker's atomically published {live, evicted} pair
 	// (nil until the first batch drains). Publishing both in one store is
 	// what keeps Stats.Flows() coherent: sampling them separately would
@@ -352,13 +410,20 @@ type Engine struct {
 	clockNs    atomic.Int64
 	nextTickNs atomic.Int64
 
-	// The merged report stream: shard pipelines emit into here (evictions
-	// mid-run, the rest during Finish), serialized by sinkMu; the user
-	// sink, if any, is called under the same lock so it never runs
-	// concurrently with itself.
-	sinkMu   sync.Mutex
-	streamed []*core.SessionReport
-	emitted  atomic.Int64
+	// The report path (emitter.go): shard pipelines emit into per-shard
+	// SPSC rings, the emitter goroutine drains them, feeds the sinks, and
+	// either recycles the spent reports (recycle mode: StreamOnly with a
+	// sink) or retains them in streamed for Finish. streamed and
+	// emitScratch are emitter-goroutine property until emitWG.Wait() in
+	// Finish hands them over; no lock guards any of it.
+	emitWake    chan struct{}
+	emitClosed  atomic.Bool
+	emitWG      sync.WaitGroup
+	emitScratch []*core.SessionReport
+	recycle     bool
+	streamed    []*core.SessionReport
+	emitted     atomic.Int64
+	recycled    atomic.Int64
 
 	finishOnce sync.Once
 	reports    []*core.SessionReport
@@ -390,18 +455,32 @@ func New(cfg Config, titles *titleclass.Classifier, stages *stageclass.Classifie
 		}
 		e.tickEvery = int64(every)
 	}
-	pipeCfg := cfg.Pipeline
-	pipeCfg.Sink = e.emit // merged engine-level sink; see Config.Sink
+	// Recycle mode: StreamOnly streaming means no one retains reports past
+	// the sink call, so spent reports may circulate back for reuse. With
+	// retention (the default, or no sink at all) recycling stays off and
+	// every delivered pointer remains valid forever.
+	e.recycle = cfg.StreamOnly && (cfg.Sink != nil || cfg.BatchSink != nil)
+	e.emitWake = make(chan struct{}, 1)
 	for i := range e.shards {
 		s := &shard{
-			wake: make(chan struct{}, 1),
-			pipe: core.New(pipeCfg, titles, stages),
+			wake:    make(chan struct{}, 1),
+			reports: newSPSCRing[*core.SessionReport](cfg.ReportQueue),
 		}
+		s.reportFree = newSPSCRing[*core.SessionReport](len(s.reports.slots) + 2)
+		// Each shard pipeline gets its own sink closure bound to its own
+		// report ring — the per-shard edge that replaced the old shared
+		// sinkMu. See Config.Sink for the user-facing contract.
+		pipeCfg := cfg.Pipeline
+		pipeCfg.Sink = func(r *core.SessionReport) { e.pushReport(s, r) }
+		s.pipe = core.New(pipeCfg, titles, stages)
 		s.effBatch.Store(int64(cfg.BatchSize))
 		e.shards[i] = s
 		e.wg.Add(1)
 		go e.run(s)
 	}
+	e.emitScratch = make([]*core.SessionReport, 0, len(e.shards[0].reports.slots))
+	e.emitWG.Add(1)
+	go e.runEmitter()
 	e.legacy = e.registerProducer()
 	return e
 }
@@ -422,22 +501,6 @@ func (e *Engine) registerProducer() *Producer {
 // Producer type for the single-goroutine contract.
 func (e *Engine) Producer() *Producer {
 	return e.registerProducer()
-}
-
-// emit is the merged sink every shard pipeline reports into. Shard workers
-// call it concurrently; the mutex serializes appends and user-sink calls.
-// The counter increments under the lock so EmittedReports never trails a
-// delivery the sink has already observed.
-func (e *Engine) emit(r *core.SessionReport) {
-	e.sinkMu.Lock()
-	if !e.cfg.StreamOnly || e.cfg.Sink == nil {
-		e.streamed = append(e.streamed, r)
-	}
-	e.emitted.Add(1)
-	if e.cfg.Sink != nil {
-		e.cfg.Sink(r)
-	}
-	e.sinkMu.Unlock()
 }
 
 // run is one shard's worker loop: drain every lane, feed the shard
@@ -490,6 +553,7 @@ func (s *shard) drain() int {
 // retained by the producer, raw frames are decoded here into the worker's
 // scratch — on this core, off the producer's critical path.
 func (s *shard) consume(q *queue, b batch) {
+	s.reclaim() // recycled reports back to the pipeline before it finalizes more
 	if !b.expire.IsZero() {
 		s.pipe.ExpireIdle(b.expire)
 		s.publish()
@@ -673,10 +737,11 @@ func (e *Engine) ExpireIdle(now time.Time) {
 // backlog.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:         len(e.shards),
-		EmittedReports: e.emitted.Load(),
-		ShardFlows:     make([]int, len(e.shards)),
-		ShardBatch:     make([]int, len(e.shards)),
+		Shards:          len(e.shards),
+		EmittedReports:  e.emitted.Load(),
+		RecycledReports: e.recycled.Load(),
+		ShardFlows:      make([]int, len(e.shards)),
+		ShardBatch:      make([]int, len(e.shards)),
 	}
 	e.prodMu.Lock()
 	for _, p := range e.producers {
@@ -692,6 +757,7 @@ func (e *Engine) Stats() Stats {
 		st.EvictedFlows += c.evicted
 		st.Processed += s.processed.v.Load()
 		st.DecodeErrors += s.decodeErrs.Load()
+		st.ReportBacklog += s.reports.len()
 	}
 	return st
 }
@@ -727,12 +793,21 @@ func (e *Engine) Finish() []*core.SessionReport {
 		}
 		e.wg.Wait()
 		e.finished.Store(true)
-		// Per-shard Finish emits the remaining sessions into e.streamed
-		// via the merged sink; the workers have exited, so this goroutine
-		// is the only emitter left.
+		// Per-shard Finish emits the remaining sessions through each
+		// shard's report ring; the workers have exited (wg.Wait is the
+		// happens-before edge), so this goroutine is now each ring's legal
+		// single producer. The emitter is still running and drains
+		// concurrently — a full ring just backpressures pushReport.
 		for _, s := range e.shards {
+			s.reclaim()
 			s.pipe.Finish()
 		}
+		// Close the emitter with the same drained+flag protocol the shard
+		// workers use: every report pushed above is delivered (exactly
+		// once) before emitWG.Wait returns, after which streamed is ours.
+		e.emitClosed.Store(true)
+		e.wakeEmitter()
+		e.emitWG.Wait()
 		e.reports = append(e.reports, e.streamed...)
 		sort.Slice(e.reports, func(i, j int) bool {
 			a, b := e.reports[i], e.reports[j]

@@ -14,17 +14,17 @@ import (
 // only popper of free, the shard worker the reverse — so the whole lane is
 // lock-free.
 type queue struct {
-	data *spscRing
-	free *spscRing
+	data *spscRing[batch]
+	free *spscRing[batch]
 }
 
 func newQueue(depth int) *queue {
-	data := newSPSCRing(depth)
+	data := newSPSCRing[batch](depth)
 	// Batches in circulation per lane are bounded by the data ring's real
 	// (rounded) capacity plus the producer's pending batch plus the one the
 	// worker is draining, so a free ring this size never overflows and no
 	// batch ever leaks to the GC — dropped ones included.
-	return &queue{data: data, free: newSPSCRing(len(data.slots) + 2)}
+	return &queue{data: data, free: newSPSCRing[batch](len(data.slots) + 2)}
 }
 
 // pair is a producer's per-shard state: its lane to that shard, the batch

@@ -103,9 +103,10 @@ func TestConcurrentHandlePacket(t *testing.T) {
 // goroutines feed an engine whose pipelines evict on a short TTL, while the
 // merged sink hands every report to a separate consumer goroutine over a
 // channel and another goroutine polls the lifecycle counters. Run under
-// `go test -race ./internal/engine` — shard workers invoking the sink
-// concurrently with producers, the consumer, and Stats readers is exactly
-// the surface the merged-sink locking must cover.
+// `go test -race ./internal/engine` — shard workers pushing report rings
+// concurrently with producers, the emitter invoking the sink, the
+// consumer, and Stats readers is exactly the surface the report path's
+// atomics must cover.
 func TestConcurrentSinkConsumer(t *testing.T) {
 	tm, sm := models(t)
 	const shards = 4
@@ -172,10 +173,21 @@ func TestConcurrentSinkConsumer(t *testing.T) {
 	}
 
 	// Observer: live lifecycle counters must stay coherent while flows
-	// are created and evicted underneath.
+	// are created and evicted underneath. Emission is asynchronous (the
+	// emitter drains the shard report rings), so a live read may see an
+	// evicted flow whose report is still queued: the invariant is
+	// EmittedReports + ReportBacklog >= EvictedFlows. Even that read is
+	// three counters sampled at different instants — the emitter can hold
+	// reports it has popped but not yet counted — so an apparent violation
+	// only fails the test if it persists across re-reads (a real lost
+	// report never recovers; sampling skew resolves in microseconds).
 	stop := make(chan struct{})
 	var obs sync.WaitGroup
 	obs.Add(1)
+	coherent := func(st engine.Stats) bool {
+		return st.ActiveFlows >= 0 && st.EvictedFlows >= 0 &&
+			st.EmittedReports+int64(st.ReportBacklog) >= st.EvictedFlows
+	}
 	go func() {
 		defer obs.Done()
 		for {
@@ -183,11 +195,15 @@ func TestConcurrentSinkConsumer(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				st := eng.Stats()
-				if st.ActiveFlows < 0 || st.EvictedFlows < 0 ||
-					st.EmittedReports < st.EvictedFlows {
-					t.Errorf("incoherent lifecycle stats: %+v", st)
-					return
+				if st := eng.Stats(); !coherent(st) {
+					deadline := time.Now().Add(2 * time.Second)
+					for !coherent(eng.Stats()) {
+						if time.Now().After(deadline) {
+							t.Errorf("incoherent lifecycle stats: %+v", eng.Stats())
+							return
+						}
+						time.Sleep(time.Millisecond)
+					}
 				}
 				time.Sleep(time.Millisecond)
 			}

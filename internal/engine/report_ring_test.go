@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"gamelens/internal/core"
+)
+
+// The report-lane instantiation of the SPSC ring gets the same edge-case
+// walk as the batch lane (ring_test.go): the element type is a pointer,
+// so these also pin that pop zeroes the vacated slot — a retired report
+// must not stay pinned against the GC (or against recycling) by a stale
+// ring slot.
+
+// seqReport tags a report with a sequence number through MeanDownMbps —
+// enough to witness ordering, like seqBatch's expire tag.
+func seqReport(i int) *core.SessionReport {
+	return &core.SessionReport{MeanDownMbps: float64(i)}
+}
+
+func seqOfReport(r *core.SessionReport) int {
+	return int(r.MeanDownMbps)
+}
+
+// TestReportRingBoundary walks the full/empty edges of a report ring.
+func TestReportRingBoundary(t *testing.T) {
+	r := newSPSCRing[*core.SessionReport](3) // rounds up to 4 slots
+	if len(r.slots) != 4 {
+		t.Fatalf("capacity 3 rounded to %d slots, want 4", len(r.slots))
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 1; i <= 4; i++ {
+		if !r.push(seqReport(i)) {
+			t.Fatalf("push %d into non-full ring failed", i)
+		}
+	}
+	if r.push(seqReport(99)) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if r.len() != 4 {
+		t.Fatalf("len = %d on a full 4-slot ring", r.len())
+	}
+	for i := 1; i <= 4; i++ {
+		rep, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d from non-empty ring failed", i)
+		}
+		if seqOfReport(rep) != i {
+			t.Fatalf("pop %d returned seq %d, want FIFO", i, seqOfReport(rep))
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from drained ring succeeded")
+	}
+	for i := range r.slots {
+		if r.slots[i] != nil {
+			t.Fatalf("slot %d still pins a popped report", i)
+		}
+	}
+}
+
+// TestReportRingCapacityOne pins the degenerate one-slot report ring.
+func TestReportRingCapacityOne(t *testing.T) {
+	r := newSPSCRing[*core.SessionReport](1)
+	if !r.push(seqReport(1)) {
+		t.Fatal("push into empty one-slot ring failed")
+	}
+	if r.push(seqReport(2)) {
+		t.Fatal("second push into one-slot ring succeeded")
+	}
+	if rep, ok := r.pop(); !ok || seqOfReport(rep) != 1 {
+		t.Fatalf("pop = (%v, %v), want seq 1", rep, ok)
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop from emptied one-slot ring succeeded")
+	}
+}
+
+// TestReportRingWraparound laps the slot array several times, checking
+// FIFO order survives the index wrap.
+func TestReportRingWraparound(t *testing.T) {
+	r := newSPSCRing[*core.SessionReport](4)
+	next, expect := 1, 1
+	for lap := 0; lap < 10; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.push(seqReport(next)) {
+				t.Fatalf("push %d failed with %d queued", next, next-expect)
+			}
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			rep, ok := r.pop()
+			if !ok {
+				t.Fatalf("pop %d failed", expect)
+			}
+			if seqOfReport(rep) != expect {
+				t.Fatalf("pop returned seq %d, want %d", seqOfReport(rep), expect)
+			}
+			expect++
+		}
+	}
+}
+
+// TestReportRingConcurrentFIFO is the emission-lane ordering regression:
+// one producer (a shard pipeline's sink) pushes sequence-numbered reports
+// while the consumer (the emitter) drains, and every report must come out
+// exactly once in push order. Run under -race, the atomics in push/pop are
+// also checked as the only synchronization the handoff has.
+func TestReportRingConcurrentFIFO(t *testing.T) {
+	const n = 100000
+	r := newSPSCRing[*core.SessionReport](8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			for !r.push(seqReport(i)) {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for expect := 1; expect <= n; {
+		rep, ok := r.pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if seqOfReport(rep) != expect {
+			t.Fatalf("pop returned seq %d, want %d", seqOfReport(rep), expect)
+		}
+		expect++
+	}
+	<-done
+	if _, ok := r.pop(); ok {
+		t.Fatal("ring non-empty after consuming every pushed report")
+	}
+}

@@ -2,7 +2,7 @@ package engine
 
 import "sync/atomic"
 
-// spscRing is a bounded single-producer/single-consumer batch queue: one
+// spscRing is a bounded single-producer/single-consumer queue: one
 // goroutine pushes, one goroutine pops, and neither ever takes a lock. The
 // producer owns tail, the consumer owns head, and each side reads the
 // other's index atomically — the pair of atomic stores/loads provides the
@@ -11,11 +11,17 @@ import "sync/atomic"
 // was vacated, and only read by the consumer after the producer's tail
 // store proves it was filled).
 //
+// The element type is generic because the engine runs the same handoff
+// discipline in two directions at two granularities: packet batches ride
+// producer→shard lanes (spscRing[batch]), and finalized session reports
+// ride shard→emitter lanes (spscRing[*core.SessionReport]) with a reverse
+// ring recycling spent reports — one ring shape, every lock-free edge.
+//
 // Capacity is rounded up to a power of two so the index wrap is a mask.
 // The indices are free-running uint64s; tail-head is the occupancy even
 // across wraparound.
-type spscRing struct {
-	slots []batch
+type spscRing[T any] struct {
+	slots []T
 	mask  uint64
 	_     [64]byte // keep head and tail on distinct cache lines
 	head  atomic.Uint64
@@ -24,39 +30,48 @@ type spscRing struct {
 	_     [56]byte
 }
 
-// newSPSCRing builds a ring holding at least capacity batches.
-func newSPSCRing(capacity int) *spscRing {
+// newSPSCRing builds a ring holding at least capacity elements.
+func newSPSCRing[T any](capacity int) *spscRing[T] {
 	n := 1
 	for n < capacity {
 		n <<= 1
 	}
-	return &spscRing{slots: make([]batch, n), mask: uint64(n - 1)}
+	return &spscRing[T]{slots: make([]T, n), mask: uint64(n - 1)}
 }
 
-// push enqueues b, returning false when the ring is full. Producer side
+// push enqueues v, returning false when the ring is full. Producer side
 // only: at most one goroutine may push.
-func (r *spscRing) push(b batch) bool {
+func (r *spscRing[T]) push(v T) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() >= uint64(len(r.slots)) {
 		return false
 	}
-	r.slots[t&r.mask] = b
+	r.slots[t&r.mask] = v
 	r.tail.Store(t + 1)
 	return true
 }
 
-// pop dequeues the oldest batch, returning false when the ring is empty.
-// The vacated slot is zeroed so the ring never pins a retired batch's
-// buffers against the GC. Consumer side only: at most one goroutine may
+// pop dequeues the oldest element, returning false when the ring is empty.
+// The vacated slot is zeroed so the ring never pins a retired element's
+// referents against the GC. Consumer side only: at most one goroutine may
 // pop.
-func (r *spscRing) pop() (batch, bool) {
+func (r *spscRing[T]) pop() (T, bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
-		return batch{}, false
+		var zero T
+		return zero, false
 	}
 	slot := &r.slots[h&r.mask]
-	b := *slot
-	*slot = batch{}
+	v := *slot
+	var zero T
+	*slot = zero
 	r.head.Store(h + 1)
-	return b, true
+	return v, true
+}
+
+// len returns the current occupancy. It is a racy-but-coherent read (two
+// atomic loads), safe from any goroutine — the backlog gauges in Stats use
+// it; the push/pop fast paths do not.
+func (r *spscRing[T]) len() int {
+	return int(r.tail.Load() - r.head.Load())
 }

@@ -20,7 +20,7 @@ func seqOf(b batch) int {
 // a full ring refuses a push without losing the refused batch's slot, and
 // the drain that follows returns everything in push order.
 func TestRingBoundary(t *testing.T) {
-	r := newSPSCRing(3) // rounds up to 4 slots
+	r := newSPSCRing[batch](3) // rounds up to 4 slots
 	if len(r.slots) != 4 {
 		t.Fatalf("capacity 3 rounded to %d slots, want 4", len(r.slots))
 	}
@@ -52,7 +52,7 @@ func TestRingBoundary(t *testing.T) {
 // TestRingCapacityOne pins the degenerate one-slot ring (QueueDepth: 1, the
 // drop-overload tests' configuration): exactly one batch fits.
 func TestRingCapacityOne(t *testing.T) {
-	r := newSPSCRing(1)
+	r := newSPSCRing[batch](1)
 	if !r.push(seqBatch(1)) {
 		t.Fatal("push into empty one-slot ring failed")
 	}
@@ -70,7 +70,7 @@ func TestRingCapacityOne(t *testing.T) {
 // TestRingWraparound interleaves pushes and pops so the indices lap the
 // slot array several times, checking FIFO order survives the wrap.
 func TestRingWraparound(t *testing.T) {
-	r := newSPSCRing(4)
+	r := newSPSCRing[batch](4)
 	next, expect := 1, 1
 	for lap := 0; lap < 10; lap++ {
 		for i := 0; i < 3; i++ {
@@ -100,7 +100,7 @@ func TestRingWraparound(t *testing.T) {
 // checked as the only synchronization the handoff has.
 func TestRingConcurrentFIFO(t *testing.T) {
 	const n = 200000
-	r := newSPSCRing(8)
+	r := newSPSCRing[batch](8)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

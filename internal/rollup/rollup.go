@@ -556,6 +556,29 @@ func (r *Rollup) advanceLocked(ns int64) {
 func (r *Rollup) Observe(e Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.observeLocked(e)
+}
+
+// ObserveBatch folds a run of entries under one lock acquisition — the
+// emitter-drain fast path: the engine delivers each drained report-ring
+// batch as a slice, and paying the mutex once per batch instead of once
+// per report keeps the rollup off the profile during eviction storms.
+// Semantically identical to calling Observe per entry in slice order, and
+// just as allocation-free in steady state (pinned by
+// TestRollupObserveBatchAllocs).
+func (r *Rollup) ObserveBatch(entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range entries {
+		r.observeLocked(entries[i])
+	}
+}
+
+// observeLocked is Observe's body; the caller holds r.mu.
+func (r *Rollup) observeLocked(e Entry) {
 	// An invalid subscriber or an unstamped End cannot be bucketed: a zero
 	// instant's UnixNano is not even representable, and letting it move the
 	// clock would park the window in year 1677 (the same hazard Advance
