@@ -165,7 +165,16 @@ func validateCounts(c *Counts) error {
 	if c.Sessions <= 0 {
 		return fmt.Errorf("non-positive session count %d", c.Sessions)
 	}
-	for name, s := range map[string]*sketch.Sketch{"throughput": c.Throughput, "qoe_proxy": c.QoEProxy} {
+	// A fixed-order pair list, not a map literal: ranging over a map here
+	// made which sketch's validation error surfaced first nondeterministic
+	// across runs — the exact class of bug the detjson analyzer exists to
+	// catch (this site is its first real fixture).
+	sketches := [...]struct {
+		name string
+		s    *sketch.Sketch
+	}{{"throughput", c.Throughput}, {"qoe_proxy", c.QoEProxy}}
+	for _, p := range sketches {
+		name, s := p.name, p.s
 		if s == nil {
 			return fmt.Errorf("missing %s sketch", name)
 		}
