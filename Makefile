@@ -18,9 +18,9 @@ GOFMT ?= gofmt
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate lintgate lint
 
-check: fmt vet build race allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate
+check: fmt vet build race lintgate allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -29,6 +29,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# The project-invariant analyzers (internal/analysis): borrow-escape,
+# no-alloc, wall-clock, deterministic-JSON, and SPSC-affinity checks over
+# every //gamelens: directive in the tree. Zero findings required — an
+# unknown directive key is itself a finding. `make lint` is the inner-loop
+# alias; editors can run the same suite in-place with
+# `go vet -vettool=$$(which gamelensvet) ./...` after `go install
+# ./cmd/gamelensvet`.
+lintgate:
+	$(GO) run ./cmd/gamelensvet ./...
+
+lint: lintgate
 
 build:
 	$(GO) build ./...

@@ -20,6 +20,7 @@ import (
 	"gamelens/internal/experiments"
 )
 
+//gamelens:wallclock-ok operator-facing run timing (the "done in" stderr line)
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")

@@ -1,0 +1,224 @@
+// Command gamelensvet runs the gamelens project-invariant analyzers
+// (borrowcheck, noalloc, wallclock, detjson, spscaffinity — see
+// internal/analysis) over Go packages and exits non-zero on any finding.
+//
+// Standalone (the lintgate form; patterns as for go build):
+//
+//	gamelensvet ./...
+//
+// As a go vet tool, which gives editors findings in-place:
+//
+//	go vet -vettool=$(which gamelensvet) ./...
+//
+// In vettool mode go vet invokes the binary once per package with a .cfg
+// JSON file; gamelensvet answers the -V=full version handshake and the
+// unit protocol itself (the repo builds without golang.org/x/tools, so it
+// cannot use unitchecker). Directives still resolve module-wide in both
+// modes: the binary locates the enclosing module root and scans it.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"gamelens/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet's version handshake: print a stable fingerprint and exit 0.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("%s version gamelensvet-1\n", os.Args[0])
+			return
+		}
+		// go vet probes for tool-specific flags; the suite has none.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args))
+}
+
+// runStandalone loads the pattern packages in the current directory's
+// module, runs the suite, and prints findings.
+func runStandalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := moduleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	reg, unknown, err := analysis.ScanModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(pkgs, reg, analysis.Analyzers())
+	for _, d := range unknown {
+		fmt.Fprintf(os.Stderr, "%s: directives: unknown gamelens directive %q\n", d.Pos, d.Key)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 || len(unknown) > 0 {
+		fmt.Fprintf(os.Stderr, "gamelensvet: %d finding(s)\n", len(diags)+len(unknown))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of go vet's unit .cfg file the tool needs.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one package under the go vet driver protocol.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(err)
+	}
+	// go vet requires the facts file to exist even though the suite
+	// exchanges no facts (directives are re-scanned from source).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	// Skip go test-driven test-variant units (pkg.test, "pkg [pkg.test]").
+	if strings.HasSuffix(cfg.ImportPath, ".test") || strings.Contains(cfg.ImportPath, " [") {
+		return 0
+	}
+	root, err := moduleRoot(cfg.Dir)
+	if err != nil {
+		fatal(err)
+	}
+	// go vet hands the tool every unit in the build graph, stdlib and
+	// dependencies included; the invariants only bind the module's own
+	// packages, so everything else passes vacuously.
+	if modpath, err := analysis.ModulePath(root); err != nil ||
+		(cfg.ImportPath != modpath && !strings.HasPrefix(cfg.ImportPath, modpath+"/")) {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The standalone driver analyzes non-test files only; drop the
+		// _test.go files go vet folds into the unit so both drivers
+		// enforce the same surface — tests may use the wall clock.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("gamelensvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	reg, _, err := analysis.ScanModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkg := analysis.NewPkg(cfg.ImportPath, cfg.Dir, fset, files, tpkg, info)
+	diags := analysis.Run([]*analysis.Pkg{pkg}, reg, analysis.Analyzers())
+	for _, d := range diags {
+		// go vet's diagnostic line format: file:line:col: message.
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the directory containing go.mod.
+func moduleRoot(dir string) (string, error) {
+	d := dir
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	// Inside GOPATH with no go.mod (go vet on a synthesized package):
+	// fall back to `go env GOMOD`.
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err == nil {
+		if gomod := strings.TrimSpace(string(out)); gomod != "" && gomod != "/dev/null" && gomod != "NUL" {
+			return filepath.Dir(gomod), nil
+		}
+	}
+	return "", fmt.Errorf("gamelensvet: no go.mod above %s", dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gamelensvet:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"gamelens/internal/gamesim"
 )
 
+//gamelens:wallclock-ok synthetic captures are stamped from the real clock by design
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gensessions: ")

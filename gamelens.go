@@ -198,6 +198,40 @@
 // respectively), and its scalegate smoke fails if running
 // shards=GOMAXPROCS ever drops below single-shard throughput.
 //
+// # Enforced invariants
+//
+// The contracts above are not comment-only: each is encoded as a
+// machine-readable //gamelens: directive in the source and enforced by a
+// static analyzer (internal/analysis, run by `make check`'s lintgate via
+// cmd/gamelensvet) on every file of every build:
+//
+//   - //gamelens:borrowed (borrowcheck analyzer) marks the borrowed-view
+//     producers — StageFeatureExtractor.Push, Tree.PredictProba — and the
+//     sink callback types whose pointer arguments are lent only for the
+//     call; storing either to anything that outlives the call is a
+//     finding (//gamelens:retain-ok escapes a documented transfer).
+//   - //gamelens:noalloc (noalloc analyzer) marks the allocation-free
+//     steady-state set — Sketch.Add, Rollup.Observe/ObserveBatch,
+//     Forest.PredictProbaInto, Decoded.RetainInto, the emitter drain —
+//     and rejects allocation-introducing constructs in them and their
+//     in-package callees (//gamelens:alloc-ok escapes a deliberate cold
+//     edge). The allocgate/sinkgate runtime pins stay the ground truth;
+//     the analyzer adds breadth.
+//   - The wallclock analyzer bans time.Now and friends everywhere except
+//     functions marked //gamelens:wallclock-ok (operator-facing CLIs),
+//     keeping replay and live capture on the packet clock.
+//   - The detjson analyzer forbids unsorted map iteration inside
+//     Snapshot/Marshal/checkpoint call graphs (//gamelens:sorted certifies
+//     an order-neutralized iteration), guarding the byte-identical
+//     checkpoint guarantees.
+//   - //gamelens:single-goroutine (spscaffinity analyzer) marks
+//     EngineProducer and the SPSC ring ends; sharing one across goroutines
+//     or storing it into shared structures without //gamelens:transfer-ok
+//     is a finding.
+//
+// The directive vocabulary is closed — a typo'd key fails lintgate rather
+// than being ignored. See internal/analysis for the full table.
+//
 // Quickstart:
 //
 //	models, _ := gamelens.TrainDefaultModels(42)

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetJSONAnalyzer enforces canonical serialization: inside a
+// checkpoint/serialization call graph, ranging over a map is a finding
+// unless the statement carries //gamelens:sorted, certifying that the
+// iteration's contribution to the output is order-neutralized (keys
+// collected and sorted before anything is written). Go randomizes map
+// iteration per run, so an unsorted range anywhere under Snapshot or
+// MarshalJSON silently breaks the byte-identical checkpoint guarantee.
+var DetJSONAnalyzer = &Analyzer{
+	Name: "detjson",
+	Doc:  "forbid unsorted map iteration inside serialization call graphs (Snapshot/MarshalJSON/canonical helpers)",
+	Run:  runDetJSON,
+}
+
+// serializationRoot reports whether a function name marks the top of an
+// output-producing call graph. The vocabulary follows the repo's naming
+// convention (rollup.Snapshot, mlkit persist marshal helpers, the
+// append-canonical style the ROADMAP prescribes for new encoders).
+func serializationRoot(name string) bool {
+	l := strings.ToLower(name)
+	for _, marker := range []string{"snapshot", "marshal", "canonical", "checkpoint", "encode"} {
+		if strings.Contains(l, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDetJSON(pass *Pass) {
+	decls := packageFuncDecls(pass.Pkg)
+
+	// Seed with the serialization roots, then pull in every in-package
+	// callee transitively: a map range in a helper called from Snapshot is
+	// just as nondeterministic as one in Snapshot itself.
+	inGraph := map[string]bool{}
+	var queue []string
+	for key, fd := range decls {
+		if serializationRoot(fd.Name.Name) {
+			inGraph[key] = true
+			queue = append(queue, key)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		fd := decls[key]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path {
+				return true
+			}
+			ck := funcKey(fn)
+			if !inGraph[ck] {
+				inGraph[ck] = true
+				queue = append(queue, ck)
+			}
+			return true
+		})
+	}
+
+	for key := range inGraph {
+		fd := decls[key]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Pkg.Info.Types[rs.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if pass.Escaped(rs.Pos(), "sorted") {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration in serialization function %s: order is randomized per run — collect and sort the keys, or mark the statement //gamelens:sorted if the output is order-neutralized downstream", fd.Name.Name)
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes every func/method declaration in the package by
+// its symbolic key.
+func packageFuncDecls(pkg *Pkg) map[string]*ast.FuncDecl {
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				decls[funcKeyOfDecl(pkg.Path, fd)] = fd
+			}
+		}
+	}
+	return decls
+}

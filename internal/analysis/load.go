@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Pkg is one loaded, type-checked target package.
+type Pkg struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test compiled Go files, in go list order
+	Types *types.Package
+	Info  *types.Info
+	Dirs  *PkgDirectives
+}
+
+// NewPkg assembles a Pkg from externally type-checked parts (the vettool
+// driver path, where go vet supplies the files and export data) and scans
+// its directives.
+func NewPkg(path, dir string, fset *token.FileSet, files []*ast.File, tpkg *types.Package, info *types.Info) *Pkg {
+	pkg := &Pkg{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}
+	pkg.Dirs = scanPackage(pkg)
+	return pkg
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (relative to dir) and
+// returns the non-dependency targets, ready for analysis. It shells out to
+// `go list -export -deps -json`, which produces gc export data for every
+// dependency from the build cache — the only importer the standard library
+// can drive without prebuilt .a files — then checks each target from source.
+func Load(dir string, patterns ...string) ([]*Pkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %w", patterns, err)
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s", lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Pkg
+	for _, lp := range targets {
+		pkg, err := checkPkg(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func checkPkg(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Pkg, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", lp.ImportPath, err)
+	}
+	pkg := &Pkg{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	pkg.Dirs = scanPackage(pkg)
+	return pkg, nil
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NoAllocAnalyzer enforces the zero-allocation steady-state contract: a
+// function annotated //gamelens:noalloc — and everything it calls in its
+// own package, minus call edges escaped //gamelens:alloc-ok — must not
+// contain allocation-introducing constructs. The runtime allocgate pins
+// prove specific benches allocate nothing; this pass keeps the property
+// under refactoring by rejecting the constructs that could reintroduce
+// allocation anywhere in the annotated call graph.
+var NoAllocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "reject allocation-introducing constructs in //gamelens:noalloc functions and their in-package callees",
+	Run:  runNoAlloc,
+}
+
+// noallocBannedPkgs are stdlib packages whose calls allocate by design.
+var noallocBannedPkgs = map[string]string{
+	"fmt":     "formats through reflection and allocates",
+	"errors":  "allocates a new error value",
+	"strings": "builds new strings on the heap",
+	"strconv": "may allocate its result string",
+	"sort":    "may allocate (interface boxing / closures)",
+}
+
+func runNoAlloc(pass *Pass) {
+	decls := packageFuncDecls(pass.Pkg)
+
+	// The no-alloc set: annotated roots, closed over in-package call edges.
+	// An //gamelens:alloc-ok escape on a call line cuts that edge — the
+	// escaped call is a deliberate cold/edge allocation, so its callee is
+	// not held to the contract on that path.
+	inSet := map[string]bool{}
+	rootOf := map[string]string{}
+	var queue []string
+	for key := range decls {
+		if pass.Pkg.Dirs.FuncHas(key, "noalloc") {
+			inSet[key] = true
+			rootOf[key] = shortName(key)
+			queue = append(queue, key)
+		}
+	}
+	sort.Strings(queue)
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		fd := decls[key]
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.Escaped(call.Pos(), "alloc-ok") {
+				return false // the whole escaped call expression is exempt
+			}
+			fn := calleeOf(pass.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pass.Pkg.Path {
+				return true
+			}
+			ck := funcKey(fn)
+			if _, present := decls[ck]; present && !inSet[ck] {
+				inSet[ck] = true
+				rootOf[ck] = rootOf[key]
+				queue = append(queue, ck)
+			}
+			return true
+		})
+	}
+
+	keys := make([]string, 0, len(inSet))
+	for key := range inSet {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if fd := decls[key]; fd != nil && fd.Body != nil {
+			checkNoAllocBody(pass, fd, rootOf[key])
+		}
+	}
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl, root string) {
+	info := pass.Pkg.Info
+	where := shortName(funcKeyOfDecl(pass.Pkg.Path, fd))
+	ctx := ""
+	if root != "" && root != where {
+		ctx = " (in the no-alloc set via " + root + ")"
+	}
+	report := func(pos token.Pos, what string) {
+		if pass.Escaped(pos, "alloc-ok") {
+			return
+		}
+		pass.Reportf(pos, "%s in no-alloc function %s%s — hoist it off the hot path or mark the statement //gamelens:alloc-ok with a reason", what, where, ctx)
+	}
+
+	// panic(...) arguments are a crash path, not steady state: building the
+	// panic message may allocate freely.
+	panicArgs := panicArgRanges(info, fd.Body)
+	inPanic := func(pos token.Pos) bool {
+		for _, r := range panicArgs {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// ifConds tracks the if- and for-conditions enclosing the node under
+	// inspection, feeding the append capacity-proof check (the emitter's
+	// `for len(batch) < cap(batch)` drain loop is the canonical guard).
+	var ifConds []ast.Expr
+	var open []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if inPanic(n.Pos()) {
+			return false
+		}
+		// Close guards whose statement we have walked past.
+		for len(open) > 0 && n.Pos() >= open[len(open)-1].End() {
+			open = open[:len(open)-1]
+			ifConds = ifConds[:len(ifConds)-1]
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			open = append(open, n)
+			ifConds = append(ifConds, n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				open = append(open, n)
+				ifConds = append(ifConds, n.Cond)
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (spawning a goroutine allocates)")
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closures allocate when they capture or escape)")
+			return false // its body is cold; don't double-report
+		case *ast.CompositeLit:
+			t := info.Types[n].Type
+			if t == nil {
+				break
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					report(n.Pos(), "address of composite literal (escapes to the heap)")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && isString(info, n.X) {
+					report(n.Pos(), "string concatenation")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(info, n, ifConds, report)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(info *types.Info, call *ast.CallExpr, guards []ast.Expr, report func(token.Pos, string)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				if !appendHasCapacityProof(call, guards) {
+					report(call.Pos(), "append without a capacity proof (guard with len(x) < cap(x) or pre-size the buffer)")
+				}
+			}
+			return
+		}
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if why, banned := noallocBannedPkgs[fn.Pkg().Path()]; banned {
+		report(call.Pos(), fn.Pkg().Name()+"."+fn.Name()+" call ("+why+")")
+	}
+}
+
+// appendHasCapacityProof reports whether the append call is dominated by an
+// enclosing `len(x) < cap(x)`-style guard on the same slice expression —
+// the emitter-drain idiom that proves the append reuses existing capacity.
+func appendHasCapacityProof(call *ast.CallExpr, guards []ast.Expr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	target := types.ExprString(ast.Unparen(call.Args[0]))
+	for _, cond := range guards {
+		if condProvesCapacity(cond, target) {
+			return true
+		}
+	}
+	return false
+}
+
+func condProvesCapacity(cond ast.Expr, target string) bool {
+	proved := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+		switch be.Op {
+		case token.LSS, token.LEQ: // len(t) < cap(t)
+			if isBuiltinCallOn(x, "len", target) && isBuiltinCallOn(y, "cap", target) {
+				proved = true
+			}
+		case token.GTR, token.GEQ: // cap(t) > len(t)
+			if isBuiltinCallOn(x, "cap", target) && isBuiltinCallOn(y, "len", target) {
+				proved = true
+			}
+		case token.NEQ: // len(t) != cap(t) fullness check
+			if (isBuiltinCallOn(x, "len", target) && isBuiltinCallOn(y, "cap", target)) ||
+				(isBuiltinCallOn(x, "cap", target) && isBuiltinCallOn(y, "len", target)) {
+				proved = true
+			}
+		}
+		return !proved
+	})
+	return proved
+}
+
+func isBuiltinCallOn(e ast.Expr, builtin, target string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != builtin {
+		return false
+	}
+	return types.ExprString(ast.Unparen(call.Args[0])) == target
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// panicArgRanges returns the [start,end) position ranges of every panic
+// call's argument list in body.
+func panicArgRanges(info *types.Info, body *ast.BlockStmt) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			ranges = append(ranges, [2]token.Pos{call.Lparen, call.Rparen + 1})
+		}
+		return true
+	})
+	return ranges
+}
+
+// shortName strips the package path from a symbolic key, leaving Recv.Name
+// or Name for messages.
+func shortName(key string) string {
+	if i := lastSlash(key); i >= 0 {
+		key = key[i+1:]
+	}
+	// key is now "pkg.Recv.Name" or "pkg.Name"; drop the leading package.
+	for i := 0; i < len(key); i++ {
+		if key[i] == '.' {
+			return key[i+1:]
+		}
+	}
+	return key
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SPSCAffinityAnalyzer enforces single-goroutine ownership: values of a
+// type annotated //gamelens:single-goroutine (engine.Producer, the SPSC
+// ring ends) are owned by exactly one goroutine at a time. Capturing the
+// same value in more than one go statement, or storing a named value into
+// a structure another goroutine can reach, is a finding; a documented
+// handoff is escaped //gamelens:transfer-ok. Storing a *fresh* value (a
+// direct constructor-call result never bound to a name) is allowed — that
+// is registration, not sharing: no goroutine holds the value yet.
+var SPSCAffinityAnalyzer = &Analyzer{
+	Name: "spscaffinity",
+	Doc:  "forbid sharing //gamelens:single-goroutine values across goroutines or storing them without a transfer annotation",
+	Run:  runSPSCAffinity,
+}
+
+func runSPSCAffinity(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAffinityBody(pass, fd.Body)
+		}
+	}
+}
+
+// isSPSCType reports whether t (pointer-stripped) is annotated
+// single-goroutine anywhere in the module.
+func isSPSCType(pass *Pass, t types.Type) bool {
+	key := typeKey(t)
+	return key != "" && pass.Reg.TypeHas(key, "single-goroutine")
+}
+
+func checkAffinityBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	spscIdent := func(e ast.Expr) (types.Object, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		obj := objOf(info, id)
+		if obj == nil || obj.Type() == nil {
+			return nil, false
+		}
+		return obj, isSPSCType(pass, obj.Type())
+	}
+
+	// Rule 1: one go statement per single-goroutine value. Count, per
+	// object, the go statements whose spawned closure or call references
+	// it; the second spawn is the finding.
+	goRefs := map[types.Object]int{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		seen := map[types.Object]bool{}
+		ast.Inspect(gs.Call, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || seen[obj] || !isSPSCType(pass, obj.Type()) {
+				return true
+			}
+			seen[obj] = true
+			goRefs[obj]++
+			if goRefs[obj] > 1 && !pass.Escaped(gs.Pos(), "transfer-ok") {
+				pass.Reportf(gs.Pos(), "%s (type %s) is handed to a second goroutine: single-goroutine values have exactly one owner — hand off through a ring, or mark a true ownership transfer //gamelens:transfer-ok", id.Name, typeKey(obj.Type()))
+			}
+			return true
+		})
+		return true
+	})
+
+	// Rule 2: no storing a named single-goroutine value into an outliving
+	// location without a transfer annotation.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				dest, outlives := outlivingDest(pass, lhs)
+				if !outlives {
+					continue
+				}
+				if obj, isSPSC := spscIdent(rhs); isSPSC {
+					if !pass.Escaped(n.Pos(), "transfer-ok") {
+						pass.Reportf(n.Pos(), "%s (single-goroutine type %s) stored to %s: the owning goroutine still holds it — mark a documented handoff //gamelens:transfer-ok", obj.Name(), typeKey(obj.Type()), dest)
+					}
+					continue
+				}
+				// field = append(field, p): the append smuggles the named
+				// value into the shared slice.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isAppendCall(info, call) {
+					for _, arg := range call.Args[1:] {
+						if obj, isSPSC := spscIdent(arg); isSPSC && !pass.Escaped(n.Pos(), "transfer-ok") {
+							pass.Reportf(n.Pos(), "%s (single-goroutine type %s) appended to %s: the owning goroutine still holds it — mark a documented handoff //gamelens:transfer-ok", obj.Name(), typeKey(obj.Type()), dest)
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if obj, isSPSC := spscIdent(n.Value); isSPSC && !pass.Escaped(n.Pos(), "transfer-ok") {
+				pass.Reportf(n.Pos(), "%s (single-goroutine type %s) sent on a channel: mark the handoff //gamelens:transfer-ok if the sender provably stops using it", obj.Name(), typeKey(obj.Type()))
+			}
+		}
+		return true
+	})
+}

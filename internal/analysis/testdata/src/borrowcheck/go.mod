@@ -1,0 +1,3 @@
+module borrowcheckfix
+
+go 1.22

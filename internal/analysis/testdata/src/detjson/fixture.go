@@ -1,0 +1,53 @@
+// Package detjsonfix exercises the detjson analyzer: map iteration inside
+// a serialization call graph is a finding unless marked //gamelens:sorted.
+package detjsonfix
+
+import "sort"
+
+// Snapshot is a serialization root by name; its unsorted range is the
+// canonical checkpoint-nondeterminism bug.
+func Snapshot(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration in serialization function Snapshot"
+		out = append(out, k)
+	}
+	return out
+}
+
+// MarshalTable collects and sorts — the sanctioned idiom, escaped.
+func MarshalTable(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//gamelens:sorted keys sorted just below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EncodeAll pulls count into the serialization graph as an in-package
+// callee.
+func EncodeAll(ms []map[string]int) int {
+	n := 0
+	for _, m := range ms {
+		n += count(m)
+	}
+	return n
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for range m { // want "map iteration in serialization function count"
+		n++
+	}
+	return n
+}
+
+// Sum ranges a map outside any serialization graph: clean.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module detjsonfix
+
+go 1.22

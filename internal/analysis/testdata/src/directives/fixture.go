@@ -1,0 +1,8 @@
+// Package dirfix holds a deliberately misspelled directive: the meta-check
+// must reject unknown keys instead of silently ignoring them.
+package dirfix
+
+// Hot carries a typo'd directive key (noallocc).
+//
+//gamelens:noallocc
+func Hot() {}

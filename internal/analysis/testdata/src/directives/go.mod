@@ -1,0 +1,3 @@
+module directivesfix
+
+go 1.22

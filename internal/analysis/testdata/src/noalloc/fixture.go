@@ -1,0 +1,59 @@
+// Package noallocfix exercises the noalloc analyzer: annotated functions
+// and their in-package callees reject allocation-introducing constructs,
+// with //gamelens:alloc-ok statement escapes and edge cuts.
+package noallocfix
+
+// Hot is the pinned steady-state entry.
+//
+//gamelens:noalloc
+func Hot(dst []int, v int) []int {
+	if len(dst) < cap(dst) {
+		dst = append(dst, v) // capacity-proven: clean
+	}
+	dst = append(dst, v)   // want "append without a capacity proof"
+	m := make(map[int]int) // want "make"
+	m[v] = v
+	s := []int{v}                    // want "slice literal"
+	return helper(append(dst, s...)) // want "append without a capacity proof"
+}
+
+// helper is drawn into the no-alloc set as Hot's in-package callee.
+func helper(dst []int) []int {
+	return append(dst, 1) // want "append without a capacity proof"
+}
+
+// Drain uses the emitter idiom: the for-loop condition is the proof.
+//
+//gamelens:noalloc
+func Drain(batch []int, next func() (int, bool)) []int {
+	for len(batch) < cap(batch) {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		batch = append(batch, v)
+	}
+	return batch
+}
+
+// Cold is never annotated and never called from the set: clean.
+func Cold() []int {
+	return make([]int, 8)
+}
+
+// EdgeCut escapes the call edge, keeping Cold out of the no-alloc set.
+//
+//gamelens:noalloc
+func EdgeCut() []int {
+	//gamelens:alloc-ok cold path taken once at startup
+	return Cold()
+}
+
+// Guarded may build its crash message freely: panic args are exempt.
+//
+//gamelens:noalloc
+func Guarded(n int, name string) {
+	if n < 0 {
+		panic("negative count for " + name)
+	}
+}

@@ -1,0 +1,65 @@
+// Package spscfix exercises the spscaffinity analyzer: values of
+// //gamelens:single-goroutine types have exactly one owner; sharing or
+// storing them needs a //gamelens:transfer-ok annotation.
+package spscfix
+
+import "sync"
+
+// Worker is owned by exactly one goroutine at a time.
+//
+//gamelens:single-goroutine
+type Worker struct{ n int }
+
+// Work advances the worker.
+func (w *Worker) Work() { w.n++ }
+
+func newWorker() *Worker { return &Worker{} }
+
+type registry struct {
+	all []*Worker
+	cur *Worker
+}
+
+// Share hands one worker to two goroutines.
+func Share(w *Worker, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		w.Work()
+	}()
+	go func() { // want "handed to a second goroutine"
+		defer wg.Done()
+		w.Work()
+	}()
+}
+
+// Register stores a fresh constructor result: registration, not sharing.
+func (r *registry) Register() {
+	r.all = append(r.all, newWorker())
+}
+
+// Adopt stores a named value some goroutine may still own.
+func (r *registry) Adopt(w *Worker) {
+	r.all = append(r.all, w) // want "appended to field all"
+}
+
+// Pin stores a named value into a field directly.
+func (r *registry) Pin(w *Worker) {
+	r.cur = w // want "stored to field cur"
+}
+
+// AdoptMoved documents the handoff.
+func (r *registry) AdoptMoved(w *Worker) {
+	//gamelens:transfer-ok caller relinquishes w after this call
+	r.all = append(r.all, w)
+}
+
+// Send puts the worker on a channel without a documented transfer.
+func Send(ch chan *Worker, w *Worker) {
+	ch <- w // want "sent on a channel"
+}
+
+// SendMoved documents the channel handoff.
+func SendMoved(ch chan *Worker, w *Worker) {
+	//gamelens:transfer-ok sender never touches w again
+	ch <- w
+}

@@ -1,0 +1,3 @@
+module spscaffinityfix
+
+go 1.22

@@ -1,0 +1,34 @@
+// Package wallclockfix exercises the wallclock analyzer: wall-clock reads
+// are findings except under a //gamelens:wallclock-ok escape, at function
+// or statement granularity.
+package wallclockfix
+
+import "time"
+
+// PacketClock derives time from packet timestamps: always clean.
+func PacketClock(ts time.Time) time.Time { return ts.Add(time.Second) }
+
+// Bad reads the host clock from engine-style code.
+func Bad() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// BadElapsed measures with the host clock.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Timing is operator-facing and may read the wall clock throughout.
+//
+//gamelens:wallclock-ok CLI timing
+func Timing() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Backoff escapes one sleep on its own line; the second is a finding.
+func Backoff() {
+	//gamelens:wallclock-ok backpressure backoff only
+	time.Sleep(time.Microsecond)
+	time.Sleep(time.Microsecond) // want "time.Sleep blocks on the wall clock"
+}

@@ -1,0 +1,3 @@
+module wallclockfix
+
+go 1.22

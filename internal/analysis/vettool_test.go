@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The vettool tests exercise cmd/gamelensvet as a real binary: the go vet
+// -vettool driver protocol (version handshake + per-unit .cfg invocations)
+// and the standalone lintgate form, including the exit-2-on-findings
+// contract against a seeded violation.
+
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gamelensvet")
+	cmd := exec.Command("go", "build", "-o", bin, "gamelens/cmd/gamelensvet")
+	cmd.Dir = filepath.Join("..", "..")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building gamelensvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vet binary")
+	}
+	bin := buildVet(t)
+
+	t.Run("VersionHandshake", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").Output()
+		if err != nil {
+			t.Fatalf("-V=full: %v", err)
+		}
+		if !strings.Contains(string(out), " version ") {
+			t.Fatalf("-V=full output %q lacks the version fingerprint go vet expects", out)
+		}
+	})
+
+	t.Run("GoVetCleanPackage", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/sketch", "./internal/rollup")
+		cmd.Dir = filepath.Join("..", "..")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go vet -vettool on clean packages: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("StandaloneSeededFinding", func(t *testing.T) {
+		root := copyModule(t)
+		seed := filepath.Join(root, "internal", "engine", "zz_seeded_violation.go")
+		src := "package engine\n\nimport \"time\"\n\nfunc zzStamp() time.Time { return time.Now() }\n"
+		if err := os.WriteFile(seed, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, "./internal/engine")
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Fatalf("want exit 2 on a seeded finding, got err=%v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "wallclock") || !strings.Contains(string(out), "time.Now") {
+			t.Fatalf("finding output missing the wallclock diagnostic:\n%s", out)
+		}
+	})
+}

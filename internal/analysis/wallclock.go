@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// WallclockAnalyzer enforces packet-clock determinism: reading the wall
+// clock is forbidden everywhere except functions annotated
+// //gamelens:wallclock-ok (operator-facing CLI timing). The engine's
+// clocks are packet timestamps; a single time.Now() makes output depend on
+// host scheduling and breaks the byte-identical shard/replay guarantees.
+var WallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads (time.Now/Since/timers) outside //gamelens:wallclock-ok functions",
+	Run:  runWallclock,
+}
+
+// wallclockBanned is the set of time-package functions whose result depends
+// on the host clock. Pure conversions (time.Unix, time.Parse, time.Duration
+// arithmetic) are fine — they are how packet timestamps are formatted.
+var wallclockBanned = map[string]string{
+	"time.Now":         "reads the wall clock",
+	"time.Since":       "reads the wall clock",
+	"time.Until":       "reads the wall clock",
+	"time.Sleep":       "blocks on the wall clock",
+	"time.Tick":        "starts a wall-clock ticker",
+	"time.After":       "starts a wall-clock timer",
+	"time.AfterFunc":   "starts a wall-clock timer",
+	"time.NewTimer":    "starts a wall-clock timer",
+	"time.NewTicker":   "starts a wall-clock ticker",
+	"runtime.nanotime": "reads the monotonic clock",
+}
+
+func runWallclock(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := funcKeyOfDecl(pass.Pkg.Path, fd)
+			if pass.Pkg.Dirs.FuncHas(key, "wallclock-ok") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// Nested function literals inherit the enclosing escape
+				// status (they run on behalf of the same operator path).
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pass.Pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				fk := funcKey(fn)
+				why, banned := wallclockBanned[fk]
+				if !banned {
+					return true
+				}
+				if pass.Escaped(call.Pos(), "wallclock-ok") {
+					return true
+				}
+				pass.Reportf(call.Pos(), "%s %s: packet-clock code must not touch the host clock (annotate the function //gamelens:wallclock-ok only for operator-facing timing)", fk, why)
+				return true
+			})
+		}
+	}
+}

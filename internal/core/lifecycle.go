@@ -23,6 +23,8 @@ import (
 // sink synchronously from HandlePacket/Finish on the calling goroutine;
 // sinks shared across pipelines (the sharded engine's merged sink) must be
 // concurrency-safe.
+//
+//gamelens:borrowed the report is lent for the duration of the call; copy to retain
 type ReportSink func(*SessionReport)
 
 // lifecycle tracks the packet clock and drives amortized eviction sweeps.

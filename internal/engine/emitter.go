@@ -23,12 +23,15 @@ import (
 // full ring blocks (per shard; other shards keep ingesting) until the
 // emitter makes room: lossless backpressure that degrades one shard's
 // ingest instead of stalling the fleet behind a slow sink.
+//
+//gamelens:noalloc
 func (e *Engine) pushReport(s *shard, r *core.SessionReport) {
 	for i := 0; !s.reports.push(r); i++ {
 		e.wakeEmitter()
 		if i < 64 {
 			runtime.Gosched()
 		} else {
+			//gamelens:wallclock-ok backpressure backoff; never read into data
 			time.Sleep(20 * time.Microsecond)
 		}
 	}
@@ -90,6 +93,8 @@ func (e *Engine) runEmitter() {
 // instead of per report. Steady state allocates nothing: the scratch is
 // pre-sized to the ring capacity and reports return through the reverse
 // rings (sinkgate pins this at 0 allocs/op).
+//
+//gamelens:noalloc
 func (e *Engine) drainReports() int {
 	total := 0
 	for _, s := range e.shards {
@@ -140,6 +145,7 @@ func (e *Engine) deliver(s *shard, reports []*core.SessionReport) {
 		}
 		e.recycled.Add(int64(n))
 	} else {
+		//gamelens:alloc-ok retention mode only; the steady-state path is the recycle branch above
 		e.streamed = append(e.streamed, reports...)
 	}
 }

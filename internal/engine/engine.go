@@ -491,6 +491,7 @@ func (e *Engine) registerProducer() *Producer {
 	e.prodMu.Lock()
 	defer e.prodMu.Unlock()
 	p := newProducer(e)
+	//gamelens:transfer-ok registration before any goroutine owns p; read again only after Finish's wg.Wait
 	e.producers = append(e.producers, p)
 	return p
 }

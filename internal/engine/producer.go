@@ -50,6 +50,8 @@ type pair struct {
 // arrival order automatically). Flush at quiet points so tail packets are
 // not stuck behind the batch threshold, and Close when done, before
 // Engine.Finish.
+//
+//gamelens:single-goroutine one owner at a time; hand off only via Close/Finish ordering
 type Producer struct {
 	e         *Engine
 	pairs     []pair
@@ -279,6 +281,7 @@ func (p *Producer) pushBlocking(si int, b batch) {
 		if spins < 64 {
 			runtime.Gosched()
 		} else {
+			//gamelens:wallclock-ok backpressure backoff; never read into data
 			time.Sleep(50 * time.Microsecond)
 		}
 	}

@@ -76,6 +76,9 @@ func rawAttrs(s trace.Slot) [NumStageAttrs]float64 {
 // by the next Push, so callers that keep a vector across slots must copy it
 // (the batch helpers here do). In exchange, Push allocates nothing — the
 // steady-state guarantee the pipeline's per-slot path is built on.
+//
+//gamelens:borrowed returns extractor-owned scratch, overwritten by the next Push
+//gamelens:noalloc
 func (e *StageFeatureExtractor) Push(slot trace.Slot) []float64 {
 	raw := rawAttrs(slot)
 	// Seed peaks from the first slot; grow them whenever exceeded.
@@ -160,6 +163,8 @@ func TransitionAttrNames() []string {
 }
 
 // Push records one classified stage slot.
+//
+//gamelens:noalloc
 func (m *TransitionMatrix) Push(s trace.Stage) {
 	i := stageIndex(s)
 	if i < 0 {
@@ -186,6 +191,8 @@ func (m *TransitionMatrix) Probabilities() []float64 {
 // ProbabilitiesInto writes the 9 normalized transition probabilities into
 // dst (length 9) and returns dst, allocating nothing — the form the online
 // tracker calls once per slot.
+//
+//gamelens:noalloc
 func (m *TransitionMatrix) ProbabilitiesInto(dst []float64) []float64 {
 	if m.total == 0 {
 		for k := range dst {

@@ -157,6 +157,8 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 // NumClasses) and returns dst. No per-tree distribution is materialized:
 // each tree's leaf row is summed out of its contiguous backing array, so
 // the steady-state prediction path allocates nothing.
+//
+//gamelens:noalloc
 func (f *Forest) PredictProbaInto(x, dst []float64) []float64 {
 	for c := range dst {
 		dst[c] = 0

@@ -40,6 +40,7 @@ func SaveForest(w io.Writer, f *Forest) error {
 				Left: int(n.Left), Right: int(n.Right),
 			}
 			if n.Feature < 0 {
+				//gamelens:retain-ok aliased only until Encode below; trees are immutable meanwhile
 				nj.Dist = t.leafDist(n)
 			}
 			tj.Nodes[i] = nj

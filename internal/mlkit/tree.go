@@ -65,6 +65,8 @@ type Tree struct {
 }
 
 // leafDist returns the class distribution row of a leaf node.
+//
+//gamelens:borrowed returns a read-only view of the tree's backing array
 func (t *Tree) leafDist(n *treeNode) []float64 {
 	return t.dists[n.dist : int(n.dist)+t.numClasses : int(n.dist)+t.numClasses]
 }
@@ -274,12 +276,16 @@ func (t *Tree) leafFor(x []float64) *treeNode {
 // PredictProba returns the class distribution of the leaf x falls into. The
 // returned slice aliases the tree's backing storage: it is shared,
 // read-only, and valid for the life of the tree.
+//
+//gamelens:borrowed aliases the tree's backing storage; copy to retain
 func (t *Tree) PredictProba(x []float64) []float64 {
 	return t.leafDist(t.leafFor(x))
 }
 
 // PredictProbaInto copies the leaf distribution of x into dst (length
 // NumClasses) and returns dst, allocating nothing.
+//
+//gamelens:noalloc
 func (t *Tree) PredictProbaInto(x, dst []float64) []float64 {
 	copy(dst, t.leafDist(t.leafFor(x)))
 	return dst

@@ -70,11 +70,13 @@ func PeekFlow(b []byte) FlowKey {
 // engine's handoff batches decode results into shard-bound arenas this
 // way). Like every ...Into method, the destination is caller-owned; if buf
 // has capacity for the appended bytes, RetainInto allocates nothing.
+//
+//gamelens:noalloc
 func (d *Decoded) RetainInto(buf []byte) []byte {
 	off := len(buf)
-	buf = append(buf, d.Payload...)
-	buf = append(buf, d.IP4.Options...)
-	buf = append(buf, d.TCP.Options...)
+	buf = append(buf, d.Payload...)     //gamelens:alloc-ok amortized growth of the caller-owned arena
+	buf = append(buf, d.IP4.Options...) //gamelens:alloc-ok amortized growth of the caller-owned arena
+	buf = append(buf, d.TCP.Options...) //gamelens:alloc-ok amortized growth of the caller-owned arena
 	rest := buf[off:]
 	n := len(d.Payload)
 	d.Payload = rest[:n:n]

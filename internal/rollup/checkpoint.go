@@ -77,6 +77,7 @@ func (r *Rollup) Snapshot(w io.Writer) error {
 		doc.Clock = time.Unix(0, r.clockNs).UTC().Format(time.RFC3339Nano)
 	}
 	addrs := make([]netip.Addr, 0, len(r.subs))
+	//gamelens:sorted keys are collected here and sorted just below
 	for addr := range r.subs {
 		addrs = append(addrs, addr)
 	}

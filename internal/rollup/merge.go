@@ -64,6 +64,7 @@ func (r *Rollup) Merge(tap *Rollup) error {
 	tapClockNs, tapHasClock := tap.clockNs, tap.hasClock
 	tapIngested, tapLate := tap.ingested, tap.late
 	var buckets []tapBucket
+	//gamelens:sorted extraction order is erased by the commutative fold below
 	for addr, sub := range tap.subs {
 		for i := range sub.ring {
 			b := &sub.ring[i]
@@ -85,6 +86,7 @@ func (r *Rollup) Merge(tap *Rollup) error {
 	// as Snapshot would prune them — so both directions end identically
 	// (the incoming stale buckets get the same treatment in the fold
 	// below).
+	//gamelens:sorted per-subscriber sweep; no cross-subscriber order effect
 	for _, sub := range r.subs {
 		for i := range sub.ring {
 			b := &sub.ring[i]

@@ -222,11 +222,13 @@ func (c *Counts) add(e Entry) {
 	switch {
 	case e.Title != "":
 		if c.Titles == nil {
+			//gamelens:alloc-ok first-touch warm-up, amortized over the bucket's life
 			c.Titles = make(map[string]int64)
 		}
 		c.Titles[e.Title]++
 	case e.Pattern != "":
 		if c.Patterns == nil {
+			//gamelens:alloc-ok first-touch warm-up, amortized over the bucket's life
 			c.Patterns = make(map[string]int64)
 		}
 		c.Patterns[e.Pattern]++
@@ -286,12 +288,14 @@ func (c *Counts) reset() {
 func (c *Counts) merge(o *Counts) {
 	c.Sessions += o.Sessions
 	c.Evicted += o.Evicted
+	//gamelens:sorted commutative map-to-map sum; iteration order invisible
 	for k, n := range o.Titles {
 		if c.Titles == nil {
 			c.Titles = make(map[string]int64)
 		}
 		c.Titles[k] += n
 	}
+	//gamelens:sorted commutative map-to-map sum; iteration order invisible
 	for k, n := range o.Patterns {
 		if c.Patterns == nil {
 			c.Patterns = make(map[string]int64)
@@ -329,12 +333,14 @@ func (c *Counts) clone() Counts {
 	out := *c
 	if c.Titles != nil {
 		out.Titles = make(map[string]int64, len(c.Titles))
+		//gamelens:sorted copy into a fresh map; order invisible
 		for k, n := range c.Titles {
 			out.Titles[k] = n
 		}
 	}
 	if c.Patterns != nil {
 		out.Patterns = make(map[string]int64, len(c.Patterns))
+		//gamelens:sorted copy into a fresh map; order invisible
 		for k, n := range c.Patterns {
 			out.Patterns[k] = n
 		}
@@ -553,6 +559,8 @@ func (r *Rollup) advanceLocked(ns int64) {
 // of the clock advance it; entries older than the window (relative to the
 // advanced clock) are counted in Stats.Late and dropped — the window has
 // already slid past them, exactly as it would have live.
+//
+//gamelens:noalloc
 func (r *Rollup) Observe(e Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -566,6 +574,8 @@ func (r *Rollup) Observe(e Entry) {
 // Semantically identical to calling Observe per entry in slice order, and
 // just as allocation-free in steady state (pinned by
 // TestRollupObserveBatchAllocs).
+//
+//gamelens:noalloc
 func (r *Rollup) ObserveBatch(entries []Entry) {
 	if len(entries) == 0 {
 		return
@@ -597,6 +607,7 @@ func (r *Rollup) observeLocked(e Entry) {
 	}
 	sub := r.subs[e.Subscriber]
 	if sub == nil {
+		//gamelens:alloc-ok per-subscriber cold edge, once per new subscriber
 		sub = newSubscriber(r.cfg.Buckets)
 		r.subs[e.Subscriber] = sub
 	}

@@ -160,6 +160,8 @@ func (s *Sketch) rep(i int) float64 {
 // can produce — counts into the exact zero centroid, so every call adds
 // exactly one sample (callers like the rollup pin their session counts to
 // Count, and a skipped value would desynchronize them). Allocation-free.
+//
+//gamelens:noalloc
 func (s *Sketch) Add(v float64) {
 	if v <= 0 || math.IsNaN(v) {
 		s.zero++
@@ -175,6 +177,8 @@ func (s *Sketch) Add(v float64) {
 // bucket rotation resets a rotated bucket's sketches instead of paying
 // New's centroid-buffer allocation once per subscriber per bucket width.
 // Allocation-free.
+//
+//gamelens:noalloc
 func (s *Sketch) Reset() {
 	s.zero = 0
 	s.total = 0
@@ -188,6 +192,8 @@ func (s *Sketch) SameGeometry(o *Sketch) bool { return s.cfg == o.cfg }
 // allocation-free. The geometries must be identical; trust boundaries
 // (checkpoint restore, multi-monitor merge) validate before calling, so a
 // mismatch here is a programming error and panics.
+//
+//gamelens:noalloc
 func (s *Sketch) Merge(o *Sketch) {
 	if !s.SameGeometry(o) {
 		panic(fmt.Sprintf("sketch: merging incompatible geometries %+v and %+v", s.cfg, o.cfg))

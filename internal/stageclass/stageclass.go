@@ -284,6 +284,8 @@ func (c *Classifier) NewTracker(launchFor time.Duration) *Tracker {
 // Push consumes the next I-wide slot and returns its stage classification.
 // During the launch window it returns (StageLaunch, 1). Push is
 // allocation-free in steady state (pinned by TestTrackerPushAllocs).
+//
+//gamelens:noalloc
 func (t *Tracker) Push(slot trace.Slot) StageResult {
 	x := t.extractor.Push(slot) // borrowed extractor scratch, consumed here
 	idx := t.slots
