@@ -18,9 +18,9 @@ GOFMT ?= gofmt
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate lintgate lint
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate lintgate lint faultgate
 
-check: fmt vet build race lintgate allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate
+check: fmt vet build race lintgate allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate faultgate
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -104,6 +104,15 @@ ckptsmoke:
 # byte-identity, overlap semantics, clock skew, geometry refusal) hold.
 mergesmoke:
 	$(GO) test -run 'TestRollupMerge|TestMerge|TestCountsMerge' -count=1 ./cmd/rollupmerge ./internal/rollup
+
+# Crash-safety gate, short mode: the deterministic fault-injection suite —
+# an injected ENOSPC that the checkpointer's bounded retry absorbs, a
+# crash-restore round trip that recovers the newest valid generation (and
+# falls back past a torn one), and the CLI contract that a final
+# checkpoint failure exits non-zero with the error named. All faults come
+# from internal/faultinject plans, so a failure replays exactly.
+faultgate:
+	$(GO) test -run 'TestFaultGate' -count=1 -short ./internal/rollup ./internal/faultinject ./cmd/classify
 
 # Shard-scaling inversion gate: replaying the bench capture with
 # shards=GOMAXPROCS must not fall below 0.9x the single-shard run (the

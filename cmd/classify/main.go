@@ -28,20 +28,38 @@
 // the engine's shard count): reports reach it through the engine's
 // batched emitter drain, shard-local rollups aggregate with zero shared
 // state, and the printed dashboard and checkpoint are the merged view —
-// byte-identical to an unsharded run. -checkpoint makes the window
-// durable: the rollup is
-// restored from the file when it exists (a restarted monitor resumes its
-// aggregations, unsharded — a checkpoint cannot be re-partitioned) and
-// atomically rewritten at end of run. A checkpoint
-// carries its own window geometry; if -rollup asks for a different one,
-// resuming would silently re-bucket history wrong, so classify refuses
-// (non-zero exit) unless -rollup-force explicitly accepts the checkpoint's
-// geometry. Multiple taps' checkpoints merge into one fleet view with the
-// rollupmerge command.
+// byte-identical to an unsharded run.
+//
+// # Durability
+//
+// -checkpoint makes the window durable. Startup runs a recovery scan over
+// the checkpoint path: the newest valid candidate — the base file or any
+// generation-numbered sibling (FILE.gen-N) left by a crashed run — is
+// restored (a restarted monitor resumes its aggregations, unsharded — a
+// checkpoint cannot be re-partitioned), corrupt candidates are quarantined
+// aside as FILE.corrupt-N and logged, and the scan degrades to the
+// previous generation instead of crash-looping. At end of run the window
+// is atomically rewritten to the base path; if that final write fails
+// after bounded retries, classify exits non-zero naming the failure — a
+// monitor must not report success while its durable state is stale.
+//
+// -checkpoint-every N additionally checkpoints mid-run: every N bucket
+// rotations of capture time, the emitter writes a generation-numbered
+// snapshot (FILE.gen-1, .gen-2, ...) off its drain path, so a crash loses
+// at most one checkpoint interval of aggregations. SIGINT/SIGTERM trigger
+// a graceful shutdown: the replay stops, in-flight flows finalize, and the
+// final checkpoint is written before exit.
+//
+// A checkpoint carries its own window geometry; if -rollup asks for a
+// different one, resuming would silently re-bucket history wrong, so
+// classify refuses (non-zero exit) unless -rollup-force explicitly accepts
+// the checkpoint's geometry. Multiple taps' checkpoints merge into one
+// fleet view with the rollupmerge command.
 //
 // At end of run classify also prints the report-path counters — reports
-// emitted and recycled, and the emitter queue depth — the observability
-// surface of the engine's lock-free emission path.
+// emitted and recycled, the emitter queue depth, and (when nonzero) the
+// supervision counters: sink panics recovered, reports dropped after a
+// sink was poisoned, checkpoint generations written and failed.
 //
 // The usage line below is usageLine in main.go — flag.Usage and this
 // comment share it as the single source of truth; keep them in sync with
@@ -49,20 +67,25 @@
 //
 // Usage:
 //
-//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-rollup-force] capture.pcap
+//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] capture.pcap
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"gamelens"
 	"gamelens/internal/pcapio"
+	"gamelens/internal/persist"
+	"gamelens/internal/rollup"
 	"gamelens/internal/titleclass"
 	"gamelens/internal/trace"
 )
@@ -71,45 +94,95 @@ import (
 // and the package comment's Usage section quotes it. A flag added here must
 // be added to the flag set below (and vice versa) or the mismatch is
 // visible in -h output next to PrintDefaults.
-const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-rollup-force] capture.pcap"
+const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] capture.pcap"
+
+// errUsage marks a command-line error: main exits 2 without a further
+// message (the flag set already printed one).
+var errUsage = errors.New("usage")
+
+// errCheckpointWrite names the final-checkpoint failure: the run analyzed
+// everything but could not make the rollup durable, so classify must exit
+// non-zero rather than let an operator trust a stale checkpoint.
+var errCheckpointWrite = errors.New("classify: final rollup checkpoint failed")
+
+// ckptFS is the filesystem every checkpoint write and recovery scan goes
+// through — a package seam so the fault-injection tests can run the real
+// CLI path against injected ENOSPC and torn writes.
+var ckptFS persist.FS = persist.OS
+
+// trainModels builds the session classifiers; a package variable so tests
+// can substitute a small, fast training corpus.
+var trainModels = func(seed int64) (*gamelens.Models, error) {
+	return gamelens.TrainModels(seed, gamelens.TrainOptions{SessionsPerTitle: 6, SessionLength: 20 * time.Minute})
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("classify: ")
-	modelPath := flag.String("title-model", "", "JSON forest exported by the trainer example")
-	lagMs := flag.Float64("lag", 8, "measured path one-way lag in ms (for QoE grading)")
-	loss := flag.Float64("loss", 0, "measured path loss rate (for QoE grading)")
-	trainSeed := flag.Int64("train-seed", 42, "seed for built-in model training")
-	shards := flag.Int("shards", 0, "analysis worker shards (0 = all cores)")
-	flowTTL := flag.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
-	rollupWin := flag.Duration("rollup", 0, "maintain per-subscriber sliding-window aggregates over this window of capture time and print the dashboard at the end (0 = off unless -checkpoint is set, then 1h)")
-	rollupShards := flag.Int("rollup-shards", 0, "shard-local rollup fan-out (0 = match the engine's shard count; forced to 1 when resuming a checkpoint)")
-	checkpoint := flag.String("checkpoint", "", "rollup checkpoint file: restored at startup when present, atomically rewritten at end of run")
-	rollupForce := flag.Bool("rollup-force", false, "resume from a checkpoint whose window geometry conflicts with -rollup (the checkpoint's geometry wins)")
-	flag.Usage = func() {
-		fmt.Fprintln(flag.CommandLine.Output(), usageLine)
-		flag.PrintDefaults()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
+}
+
+// run is the whole command behind a testable seam: args are the command
+// line after the program name, stdout receives the report and dashboard
+// output (diagnostics go through the log package). It returns errUsage for
+// command-line errors and errCheckpointWrite-wrapped errors when the final
+// checkpoint could not be written.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	modelPath := fs.String("title-model", "", "JSON forest exported by the trainer example")
+	lagMs := fs.Float64("lag", 8, "measured path one-way lag in ms (for QoE grading)")
+	loss := fs.Float64("loss", 0, "measured path loss rate (for QoE grading)")
+	trainSeed := fs.Int64("train-seed", 42, "seed for built-in model training")
+	shards := fs.Int("shards", 0, "analysis worker shards (0 = all cores)")
+	flowTTL := fs.Duration("flow-ttl", 0, "evict flows idle this long in capture time and print their reports as they expire (0 = report everything at the end)")
+	rollupWin := fs.Duration("rollup", 0, "maintain per-subscriber sliding-window aggregates over this window of capture time and print the dashboard at the end (0 = off unless -checkpoint is set, then 1h)")
+	rollupShards := fs.Int("rollup-shards", 0, "shard-local rollup fan-out (0 = match the engine's shard count; forced to 1 when resuming a checkpoint)")
+	checkpoint := fs.String("checkpoint", "", "rollup checkpoint file: recovered at startup (newest valid generation; corrupt candidates quarantined), atomically rewritten at end of run")
+	ckptEvery := fs.Int("checkpoint-every", 0, "also write a generation-numbered checkpoint every N window-bucket rotations of capture time (0 = final checkpoint only; requires -checkpoint)")
+	rollupForce := fs.Bool("rollup-force", false, "resume from a checkpoint whose window geometry conflicts with -rollup (the checkpoint's geometry wins)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), usageLine)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return errUsage
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errUsage
+	}
+	if *ckptEvery > 0 && *checkpoint == "" {
+		return errors.New("-checkpoint-every requires -checkpoint")
 	}
 
+	// A signal interrupts the replay, not the shutdown: the read loop
+	// breaks, in-flight flows finalize through Finish, and the final
+	// checkpoint still gets written — the graceful-flush path. Installed
+	// before training so a signal during the slow startup is not fatal
+	// either; it is consumed at the first read-loop iteration.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
 	log.Printf("training models (seed %d)...", *trainSeed)
-	models, err := gamelens.TrainModels(*trainSeed, gamelens.TrainOptions{SessionsPerTitle: 6, SessionLength: 20 * time.Minute})
+	models, err := trainModels(*trainSeed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *modelPath != "" {
 		f, err := os.Open(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		title, err := gamelens.LoadTitleModel(f, titleclass.Config{})
 		f.Close()
 		if err != nil {
-			log.Fatalf("loading %s: %v", *modelPath, err)
+			return fmt.Errorf("loading %s: %v", *modelPath, err)
 		}
 		models.Title = title
 		log.Printf("loaded title model from %s", *modelPath)
@@ -118,6 +191,7 @@ func main() {
 	// The per-subscriber rollup window, sharded to match the engine unless
 	// resumed from a checkpoint (which cannot be re-partitioned).
 	var ru *gamelens.ShardedRollup
+	var recInfo rollup.RecoverInfo
 	if *rollupWin > 0 || *checkpoint != "" {
 		nShards := *rollupShards
 		if nShards <= 0 {
@@ -125,15 +199,18 @@ func main() {
 				nShards = runtime.GOMAXPROCS(0)
 			}
 		}
-		resolved, resumed, err := resolveRollup(*checkpoint, *rollupWin, nShards, *rollupForce)
+		resolved, info, resumed, err := resolveRollup(*checkpoint, *rollupWin, nShards, *rollupForce)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		ru = resolved
+		ru, recInfo = resolved, info
+		for _, q := range info.Quarantined {
+			log.Printf("warning: quarantined corrupt checkpoint as %s", q)
+		}
 		if resumed {
 			st := ru.Stats()
-			log.Printf("resumed rollup from %s (%d subscribers, %d sessions ingested, clock %v)",
-				*checkpoint, st.Subscribers, st.Ingested, ru.Clock().Format(time.RFC3339))
+			log.Printf("resumed rollup from %s (generation %d; %d subscribers, %d sessions ingested, clock %v)",
+				info.Path, info.Generation, st.Subscribers, st.Ingested, ru.Clock().Format(time.RFC3339))
 		}
 	}
 
@@ -150,6 +227,21 @@ func main() {
 	if ru != nil {
 		cfg.BatchSink = ru.BatchSink()
 	}
+	// Periodic durability: a Checkpointer over the live window, ticked by
+	// the emitter after each drain, numbered from one past whatever the
+	// recovery scan saw on disk so a resumed run never overwrites evidence.
+	var cp *rollup.Checkpointer
+	if ru != nil && *checkpoint != "" {
+		cp = rollup.NewCheckpointer(ru, rollup.CheckpointerConfig{
+			Path:         *checkpoint,
+			EveryBuckets: *ckptEvery,
+			StartGen:     recInfo.NextGen,
+			FS:           ckptFS,
+		})
+		if *ckptEvery > 0 {
+			cfg.Checkpoint = cp.Tick
+		}
+	}
 	streaming := *flowTTL > 0
 	if streaming {
 		// In streaming mode every report — evicted mid-replay or finalized
@@ -158,31 +250,39 @@ func main() {
 		// from also retaining each report for Finish (spent reports are
 		// recycled to the shard pipelines instead), so memory really is
 		// bounded by concurrently active flows.
-		cfg.Sink = printReport
+		cfg.Sink = func(rep *gamelens.SessionReport) { printReport(stdout, rep) }
 		cfg.StreamOnly = true
 	}
 	eng := gamelens.NewEngine(cfg, models)
 
-	in, err := os.Open(flag.Arg(0))
+	in, err := os.Open(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer in.Close()
 	r, err := pcapio.NewReader(in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+
 	// One reader goroutine, one producer handle: frames go to their shard
 	// raw, and the shard worker decodes them.
 	p := eng.Producer()
 	frames := 0
+readLoop:
 	for {
+		select {
+		case sig := <-sigc:
+			log.Printf("received %v: flushing flows and writing the final checkpoint", sig)
+			break readLoop
+		default:
+		}
 		rec, err := r.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			log.Fatalf("frame %d: %v", frames, err)
+			return fmt.Errorf("frame %d: %v", frames, err)
 		}
 		frames++
 		p.HandleFrame(rec.Timestamp, rec.Data)
@@ -195,11 +295,19 @@ func main() {
 		frames, stats.Shards, stats.Flows(), stats.EvictedFlows, stats.DecodeErrors)
 	log.Printf("report path: %d emitted, %d recycled, emitter queue depth %d",
 		stats.EmittedReports, stats.RecycledReports, stats.ReportBacklog)
+	if stats.SinkPanics > 0 || stats.SinkDropped > 0 {
+		log.Printf("supervision: recovered %d sink panics, dropped %d reports after poisoning",
+			stats.SinkPanics, stats.SinkDropped)
+	}
+	if stats.CheckpointGenerations > 0 || stats.CheckpointFailures > 0 {
+		log.Printf("checkpoints: %d generations written mid-run, %d failures",
+			stats.CheckpointGenerations, stats.CheckpointFailures)
+	}
 	if stats.EmittedReports == 0 {
-		fmt.Println("no cloud-gaming streaming flows detected")
+		fmt.Fprintln(stdout, "no cloud-gaming streaming flows detected")
 	} else if !streaming {
 		for _, rep := range reports {
-			printReport(rep)
+			printReport(stdout, rep)
 		}
 	}
 	if ru != nil {
@@ -208,40 +316,47 @@ func main() {
 		// an unsharded run would have produced.
 		merged, err := ru.Merged()
 		if err != nil {
-			log.Fatalf("merging rollup shards: %v", err)
+			return fmt.Errorf("merging rollup shards: %v", err)
 		}
-		printRollup(merged, ru.NumShards())
-		if *checkpoint != "" {
-			if err := merged.SaveFile(*checkpoint); err != nil {
-				log.Fatalf("checkpointing rollup: %v", err)
+		printRollup(stdout, merged, ru.NumShards())
+		if cp != nil {
+			if err := cp.Final(); err != nil {
+				return fmt.Errorf("%w: %w", errCheckpointWrite, err)
 			}
 			log.Printf("rollup checkpointed to %s", *checkpoint)
 		}
 	}
+	return nil
 }
 
-// resolveRollup builds the monitor's rollup window: restored from the
-// checkpoint when path names an existing file (wrapped as a single-shard
-// front-end — a checkpoint cannot be re-partitioned), fresh and sharded
-// across shards otherwise.
+// resolveRollup builds the monitor's rollup window: recovered from the
+// newest valid checkpoint candidate when path names one (wrapped as a
+// single-shard front-end — a checkpoint cannot be re-partitioned), fresh
+// and sharded across shards otherwise. Corrupt candidates are quarantined
+// by the scan (info.Quarantined); if every candidate was corrupt the error
+// surfaces rather than silently starting cold over lost data.
 // A checkpoint carries its own window geometry (span and bucket count);
 // resuming it under a conflicting -rollup would silently re-bucket the
 // restored history wrong, so a mismatch between the checkpoint's geometry
 // and what -rollup would configure is an error unless force (the
 // -rollup-force flag) explicitly accepts the checkpoint's geometry. The
-// resumed result reports whether a checkpoint was restored.
-func resolveRollup(path string, window time.Duration, shards int, force bool) (ru *gamelens.ShardedRollup, resumed bool, err error) {
+// resumed result reports whether a checkpoint was restored; info carries
+// the recovery scan's findings either way (info.NextGen seeds the
+// Checkpointer's generation numbering).
+func resolveRollup(path string, window time.Duration, shards int, force bool) (ru *gamelens.ShardedRollup, info rollup.RecoverInfo, resumed bool, err error) {
 	if path != "" {
-		restored, err := gamelens.LoadRollup(path)
-		switch {
-		case err == nil:
+		restored, info, err := rollup.Recover(ckptFS, path)
+		if err != nil {
+			return nil, info, false, fmt.Errorf("recovering rollup: %w", err)
+		}
+		if restored != nil {
 			if window > 0 {
 				want := gamelens.NewRollup(gamelens.RollupConfig{Window: window}).Config()
 				if got := restored.Config(); got != want {
 					if !force {
-						return nil, false, fmt.Errorf(
+						return nil, info, false, fmt.Errorf(
 							"checkpoint %s holds a %v window in %d buckets but -rollup %v asks for %v in %d: resuming would re-bucket history wrong; pass -rollup-force to keep the checkpoint's geometry, or delete the checkpoint to start over",
-							path, got.Window, got.Buckets, window, want.Window, want.Buckets)
+							info.Path, got.Window, got.Buckets, window, want.Window, want.Buckets)
 					}
 					log.Printf("warning: -rollup %v overridden by -rollup-force; keeping checkpoint geometry %v/%d buckets",
 						window, got.Window, got.Buckets)
@@ -250,37 +365,37 @@ func resolveRollup(path string, window time.Duration, shards int, force bool) (r
 			if shards > 1 {
 				log.Printf("resuming from a checkpoint: rollup runs unsharded (-rollup-shards %d ignored)", shards)
 			}
-			return gamelens.ShardedRollupFrom(restored), true, nil
-		case !os.IsNotExist(err):
-			return nil, false, fmt.Errorf("restoring rollup: %w", err)
+			return gamelens.ShardedRollupFrom(restored), info, true, nil
 		}
+		return gamelens.NewShardedRollup(shards, gamelens.RollupConfig{Window: window}), info, false, nil
 	}
-	return gamelens.NewShardedRollup(shards, gamelens.RollupConfig{Window: window}), false, nil
+	info.NextGen = 1
+	return gamelens.NewShardedRollup(shards, gamelens.RollupConfig{Window: window}), info, false, nil
 }
 
 // printReport renders one session report; in streaming mode it is (part of)
 // the engine sink (the engine serializes calls, so plain printing is safe).
-func printReport(rep *gamelens.SessionReport) {
-	fmt.Println(rep)
-	fmt.Printf("  stage minutes: active %.1f, passive %.1f, idle %.1f\n",
+func printReport(w io.Writer, rep *gamelens.SessionReport) {
+	fmt.Fprintln(w, rep)
+	fmt.Fprintf(w, "  stage minutes: active %.1f, passive %.1f, idle %.1f\n",
 		rep.StageMinutes[trace.StageActive], rep.StageMinutes[trace.StagePassive],
 		rep.StageMinutes[trace.StageIdle])
 }
 
 // printRollup renders the per-subscriber dashboard for the merged window.
-func printRollup(ru *gamelens.Rollup, shards int) {
+func printRollup(w io.Writer, ru *gamelens.Rollup, shards int) {
 	aggs := ru.Subscribers()
-	fmt.Printf("\nper-subscriber window (clock %v, %d subscribers, %d rollup shards):\n",
+	fmt.Fprintf(w, "\nper-subscriber window (clock %v, %d subscribers, %d rollup shards):\n",
 		ru.Clock().Format(time.RFC3339), len(aggs), shards)
 	for _, a := range aggs {
-		w := a.Window
-		mbps := w.ThroughputPercentiles()
-		fmt.Printf("  %-15v %3d sessions (%d evicted)  active %5.1fm passive %5.1fm idle %5.1fm  %5.1f Mbps (p50/p90/p99 %.1f/%.1f/%.1f)  QoE good obj %3.0f%% eff %3.0f%% proxy p50 %.2f\n",
-			a.Subscriber, w.Sessions, w.Evicted,
-			w.StageMinutes[trace.StageActive], w.StageMinutes[trace.StagePassive],
-			w.StageMinutes[trace.StageIdle], w.MeanDownMbps(),
+		win := a.Window
+		mbps := win.ThroughputPercentiles()
+		fmt.Fprintf(w, "  %-15v %3d sessions (%d evicted)  active %5.1fm passive %5.1fm idle %5.1fm  %5.1f Mbps (p50/p90/p99 %.1f/%.1f/%.1f)  QoE good obj %3.0f%% eff %3.0f%% proxy p50 %.2f\n",
+			a.Subscriber, win.Sessions, win.Evicted,
+			win.StageMinutes[trace.StageActive], win.StageMinutes[trace.StagePassive],
+			win.StageMinutes[trace.StageIdle], win.MeanDownMbps(),
 			mbps.P50, mbps.P90, mbps.P99,
-			w.GoodShare(false)*100, w.GoodShare(true)*100,
-			w.QoEProxyQuantile(0.5))
+			win.GoodShare(false)*100, win.GoodShare(true)*100,
+			win.QoEProxyQuantile(0.5))
 	}
 }

@@ -146,6 +146,54 @@
 //	//             tap2, _ := gamelens.LoadRollup("tap2.ckpt")
 //	//             err = fleet.Merge(tap2)
 //
+// # Durability and failure model
+//
+// A monitor that runs for months will crash — power loss mid-write, a full
+// disk, a panicking user sink. The durability tier bounds what each failure
+// can cost:
+//
+// What survives a crash: the rollup window, up to the last checkpoint.
+// RollupCheckpointer (NewRollupCheckpointer) snapshots the live window —
+// sharded or not — every RollupCheckpointerConfig.EveryBuckets bucket
+// rotations of the packet clock (never wall clock, so replay and live
+// capture checkpoint identically), writing generation-numbered files
+// (path.gen-1, .gen-2, ...) beside the base path; an end-of-run or
+// shutdown Final writes the base path itself. Wire its Tick into
+// EngineConfig.Checkpoint and the emitter calls it after each report
+// drain, off the ingest path — shard workers never wait on disk. The
+// recovery point after a crash is at most one checkpoint interval (plus
+// the drain batch in flight) behind the packets analyzed.
+//
+// Every write is atomic and torn-write-evident: write-temp, fsync,
+// rename, fsync the parent directory (a crash between rename and
+// directory sync must not lose the entry), with a CRC-footed format that
+// rejects any byte-prefix truncation. Transient write failures (ENOSPC
+// and friends) retry with bounded backoff; persistent ones count as a
+// failed generation and the monitor keeps analyzing — durability degrades
+// before liveness does.
+//
+// What recovery does: RecoverRollup scans the base path and every
+// generation sibling, restores the newest candidate that validates
+// (competing the base file by its packet clock), quarantines corrupt ones
+// aside as path.corrupt-N for inspection, and reports what it found in
+// RollupRecoverInfo — including the next generation number, so a resumed
+// RollupCheckpointer never overwrites evidence. Nothing on disk is a cold
+// start; everything corrupt is an error, because silently starting empty
+// would hide data loss.
+//
+// What a failing sink costs: nothing but its own reports. The emitter
+// runs every user callback — Sink, BatchSink, the Checkpoint hook —
+// supervised: a panic is recovered, counted (EngineStats.SinkPanics,
+// CheckpointFailures), and poisons that callback so it is never called
+// again, while emission, recycling and the other callbacks continue.
+// Every report is then delivered exactly once or counted in
+// EngineStats.SinkDropped — the accounting always balances against
+// EmittedReports — and Finish always completes. The whole tier is tested
+// against internal/faultinject's deterministic fault plans (fail the Nth
+// write, tear it at byte k, ENOSPC forever, panic at report M), so every
+// failure scenario above replays bit-for-bit; `make check`'s faultgate
+// runs the short-mode slice of that suite.
+//
 // # Performance model
 //
 // The steady-state hot path — per packet and per closed slot, on every
@@ -320,6 +368,20 @@ type (
 	ShardedRollup = rollup.Sharded
 	// RollupPercentiles is a sketched distribution read at p50/p90/p99.
 	RollupPercentiles = rollup.Percentiles
+	// RollupCheckpointer writes generation-numbered checkpoints of a live
+	// rollup window on the packet clock (and the final base checkpoint at
+	// shutdown); wire Tick into EngineConfig.Checkpoint.
+	RollupCheckpointer = rollup.Checkpointer
+	// RollupCheckpointerConfig tunes checkpoint cadence, retention, retry
+	// and the starting generation (RollupRecoverInfo.NextGen on resume).
+	RollupCheckpointerConfig = rollup.CheckpointerConfig
+	// RollupWindow is the checkpointable-window interface both Rollup and
+	// ShardedRollup satisfy.
+	RollupWindow = rollup.Window
+	// RollupRecoverInfo reports what a RecoverRollup scan found: the
+	// restored path and generation, the next generation number, and any
+	// quarantined corrupt candidates.
+	RollupRecoverInfo = rollup.RecoverInfo
 	// QuantileSketch is the deterministic mergeable quantile sketch rollup
 	// buckets carry for throughput and QoE-proxy distributions.
 	QuantileSketch = sketch.Sketch
@@ -444,6 +506,23 @@ func RestoreRollup(r io.Reader) (*Rollup, error) {
 // monitors can treat it as a cold start.
 func LoadRollup(path string) (*Rollup, error) {
 	return rollup.LoadFile(path)
+}
+
+// NewRollupCheckpointer builds a checkpointer over a live rollup window
+// (Rollup or ShardedRollup). See the package comment's durability section
+// for the cadence, retention and recovery-point contract.
+func NewRollupCheckpointer(src RollupWindow, cfg RollupCheckpointerConfig) *RollupCheckpointer {
+	return rollup.NewCheckpointer(src, cfg)
+}
+
+// RecoverRollup scans path and its generation-numbered siblings for the
+// newest valid checkpoint, quarantining corrupt candidates aside as
+// path.corrupt-N. A nil rollup with a nil error is a cold start; an error
+// means candidates existed but none validated — data loss that should not
+// be resumed over silently. Seed a resumed checkpointer's generation
+// numbering with the returned info's NextGen.
+func RecoverRollup(path string) (*Rollup, RollupRecoverInfo, error) {
+	return rollup.Recover(nil, path)
 }
 
 // SaveTitleModel writes the title classifier's forest as JSON. The

@@ -150,6 +150,17 @@ type Config struct {
 	// automatic ticks (per-shard sweeps and manual ExpireIdle only).
 	// Ignored unless Pipeline.FlowTTL is set.
 	TickInterval time.Duration
+	// Checkpoint, when set, is invoked by the emitter goroutine after each
+	// non-empty drain — the hook a rollup.Checkpointer's Tick plugs into,
+	// so checkpoints ride the report path's packet clock without a timer
+	// goroutine and without ever blocking shard ingest (a slow checkpoint
+	// backpressures emission exactly like a slow sink: per shard, never
+	// globally). The hook reports whether it wrote a checkpoint
+	// (Stats.CheckpointGenerations) and any write failure
+	// (Stats.CheckpointFailures). Like the sinks it runs supervised: a
+	// panic poisons the hook — it is never called again and counts one
+	// failure — rather than killing the emitter.
+	Checkpoint func() (wrote bool, err error)
 	// StreamOnly makes Sink the sole delivery path: reports are not
 	// retained for Finish, which still finalizes the remaining sessions
 	// (delivering them through Sink) but returns nil. Without it the
@@ -219,6 +230,22 @@ type Stats struct {
 	// report rings awaiting the emitter — the emitter queue depth. A live
 	// gauge (racy but coherent per ring); 0 after Finish.
 	ReportBacklog int
+	// SinkPanics counts panics the emitter recovered from the user sinks
+	// (Sink and BatchSink each contribute at most one: the first panic
+	// poisons that sink and it is never called again). A poisoned engine
+	// keeps draining — Finish completes, workers never wedge — it just
+	// stops delivering to the dead sink.
+	SinkPanics int64
+	// SinkDropped counts per-report Sink deliveries skipped because the
+	// sink was poisoned by an earlier panic — the "counted" half of the
+	// exactly-once-or-counted contract (EmittedReports counts every report
+	// that crossed the emitter, delivered or not).
+	SinkDropped int64
+	// CheckpointGenerations counts checkpoints the Config.Checkpoint hook
+	// reported written; CheckpointFailures counts hook errors, plus one
+	// for the panic if the hook poisoned itself.
+	CheckpointGenerations int64
+	CheckpointFailures    int64
 	// ShardFlows is the number of live gaming flows each shard tracks,
 	// post-eviction (use Flows for the cumulative count — dashboards that
 	// chart ShardFlows see residency, not volume). Values are exact after
@@ -424,6 +451,17 @@ type Engine struct {
 	streamed    []*core.SessionReport
 	emitted     atomic.Int64
 	recycled    atomic.Int64
+
+	// Supervision state (emitter.go). The poisoned flags are plain bools:
+	// they are emitter-goroutine property, like emitScratch. The counters
+	// are atomic for Stats.
+	sinkPoisoned  bool
+	batchPoisoned bool
+	ckptPoisoned  bool
+	sinkPanics    atomic.Int64
+	sinkDropped   atomic.Int64
+	ckptGens      atomic.Int64
+	ckptFailures  atomic.Int64
 
 	finishOnce sync.Once
 	reports    []*core.SessionReport
@@ -738,11 +776,15 @@ func (e *Engine) ExpireIdle(now time.Time) {
 // backlog.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Shards:          len(e.shards),
-		EmittedReports:  e.emitted.Load(),
-		RecycledReports: e.recycled.Load(),
-		ShardFlows:      make([]int, len(e.shards)),
-		ShardBatch:      make([]int, len(e.shards)),
+		Shards:                len(e.shards),
+		EmittedReports:        e.emitted.Load(),
+		RecycledReports:       e.recycled.Load(),
+		SinkPanics:            e.sinkPanics.Load(),
+		SinkDropped:           e.sinkDropped.Load(),
+		CheckpointGenerations: e.ckptGens.Load(),
+		CheckpointFailures:    e.ckptFailures.Load(),
+		ShardFlows:            make([]int, len(e.shards)),
+		ShardBatch:            make([]int, len(e.shards)),
 	}
 	e.prodMu.Lock()
 	for _, p := range e.producers {

@@ -1,0 +1,261 @@
+// Package faultinject provides deterministic fault injection for the
+// durability layer: an FS decorator over the persist.FS seam that fails
+// chosen filesystem operations (the Nth write, a torn write at byte k,
+// ENOSPC, a rename that never lands), plus report-sink decorators that
+// panic at a chosen report. Everything is counter-driven and
+// replay-deterministic — no wall clock, no randomness: the Nth matching
+// operation fails, every time, so a failure-path test replays exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"syscall"
+
+	"gamelens/internal/core"
+	"gamelens/internal/persist"
+)
+
+// Op names one class of filesystem operation the FS decorator can fail.
+type Op string
+
+const (
+	OpCreate  Op = "create"  // FS.CreateTemp
+	OpWrite   Op = "write"   // File.Write
+	OpSync    Op = "sync"    // File.Sync
+	OpClose   Op = "close"   // File.Close
+	OpOpen    Op = "open"    // FS.Open
+	OpRename  Op = "rename"  // FS.Rename
+	OpRemove  Op = "remove"  // FS.Remove
+	OpReadDir Op = "readdir" // FS.ReadDir
+	OpSyncDir Op = "syncdir" // FS.SyncDir
+)
+
+// ErrInjected is the default error returned by a firing rule.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrNoSpace is the full-disk error (syscall.ENOSPC), for plans that model
+// a monitor whose checkpoint volume fills up.
+var ErrNoSpace error = syscall.ENOSPC
+
+// Rule selects which occurrences of one operation class fail. Occurrences
+// are counted per Op across the whole FS, in execution order, starting at 1.
+type Rule struct {
+	// Op is the operation class the rule applies to.
+	Op Op
+	// Nth is the first occurrence (1-based) that fails.
+	Nth int
+	// Count is how many consecutive occurrences fail from Nth on: 0 means
+	// exactly one, negative means every occurrence from Nth.
+	Count int
+	// Err is the injected error (ErrInjected when nil).
+	Err error
+	// TornAt applies to OpWrite only: the failing write persists the first
+	// TornAt bytes of its buffer before erroring, modeling a torn write
+	// that leaves a prefix on disk.
+	TornAt int
+}
+
+// FailNth fails exactly the nth occurrence of op with err.
+func FailNth(op Op, nth int, err error) Rule {
+	return Rule{Op: op, Nth: nth, Err: err}
+}
+
+// FailAll fails every occurrence of op with err.
+func FailAll(op Op, err error) Rule {
+	return Rule{Op: op, Nth: 1, Count: -1, Err: err}
+}
+
+// TornWrite makes the nth write persist only the first k bytes of its
+// buffer and then fail — the canonical torn-checkpoint fixture.
+func TornWrite(nth, k int) Rule {
+	return Rule{Op: OpWrite, Nth: nth, TornAt: k}
+}
+
+// FS wraps an inner persist.FS (nil = the real filesystem) and applies the
+// fault plan. Safe for concurrent use; the occurrence counters make every
+// run of a deterministic caller identical.
+type FS struct {
+	inner persist.FS
+	mu    sync.Mutex
+	seen  map[Op]int
+	rules []Rule
+}
+
+// New builds a fault-injecting FS over inner applying rules in order (the
+// first matching rule fires).
+func New(inner persist.FS, rules ...Rule) *FS {
+	if inner == nil {
+		inner = persist.OS
+	}
+	return &FS{inner: inner, seen: map[Op]int{}, rules: rules}
+}
+
+// Count reports how many occurrences of op the FS has seen so far —
+// the assertion hook proving an operation was attempted at all.
+func (f *FS) Count(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seen[op]
+}
+
+// occurrence records one occurrence of op and returns the rule it trips,
+// if any.
+func (f *FS) occurrence(op Op) *Rule {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seen[op]++
+	n := f.seen[op]
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Op != op || n < r.Nth {
+			continue
+		}
+		if r.Count >= 0 {
+			last := r.Nth + r.Count
+			if r.Count == 0 {
+				last = r.Nth
+			}
+			if n > last {
+				continue
+			}
+		}
+		return r
+	}
+	return nil
+}
+
+func ruleErr(r *Rule) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	return ErrInjected
+}
+
+// CreateTemp implements persist.FS.
+func (f *FS) CreateTemp(dir, pattern string) (persist.File, error) {
+	if r := f.occurrence(OpCreate); r != nil {
+		return nil, ruleErr(r)
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// Open implements persist.FS.
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	if r := f.occurrence(OpOpen); r != nil {
+		return nil, ruleErr(r)
+	}
+	return f.inner.Open(name)
+}
+
+// Rename implements persist.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if r := f.occurrence(OpRename); r != nil {
+		return ruleErr(r)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements persist.FS.
+func (f *FS) Remove(name string) error {
+	if r := f.occurrence(OpRemove); r != nil {
+		return ruleErr(r)
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir implements persist.FS.
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	if r := f.occurrence(OpReadDir); r != nil {
+		return nil, ruleErr(r)
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// SyncDir implements persist.FS.
+func (f *FS) SyncDir(dir string) error {
+	if r := f.occurrence(OpSyncDir); r != nil {
+		return ruleErr(r)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file applies the write/sync/close rules to one created file.
+type file struct {
+	fs    *FS
+	inner persist.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if r := w.fs.occurrence(OpWrite); r != nil {
+		n := r.TornAt
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if wrote, err := w.inner.Write(p[:n]); err != nil {
+				return wrote, err
+			}
+		}
+		return n, ruleErr(r)
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if r := w.fs.occurrence(OpSync); r != nil {
+		return ruleErr(r)
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Close() error {
+	if r := w.fs.occurrence(OpClose); r != nil {
+		return ruleErr(r)
+	}
+	return w.inner.Close()
+}
+
+func (w *file) Name() string { return w.inner.Name() }
+
+// PanicSink wraps sink (which may be nil) so the mth delivered report
+// panics instead of being delivered — the poisoned-operator-sink fixture
+// for the engine's supervised emission. Reports before the mth pass
+// through; the panic fires before the inner sink sees the mth report, and
+// every report after the mth passes through again (a supervised emitter
+// never sends them — its poison marking is what the tests pin).
+func PanicSink(sink core.ReportSink, m int) core.ReportSink {
+	n := 0
+	return func(r *core.SessionReport) {
+		n++
+		if n == m {
+			panic(fmt.Sprintf("faultinject: sink panic at report %d", m))
+		}
+		if sink != nil {
+			sink(r)
+		}
+	}
+}
+
+// PanicBatchSink wraps a batch sink (which may be nil) so the batch
+// containing the mth cumulative report panics before the inner sink sees
+// it. The batch-sink counterpart of PanicSink.
+func PanicBatchSink(sink func([]*core.SessionReport), m int) func([]*core.SessionReport) {
+	n := 0
+	return func(reports []*core.SessionReport) {
+		if n < m && n+len(reports) >= m {
+			n += len(reports)
+			panic(fmt.Sprintf("faultinject: batch sink panic at report %d", m))
+		}
+		n += len(reports)
+		if sink != nil {
+			sink(reports)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gamelens/internal/core"
+)
+
+func TestRuleSelection(t *testing.T) {
+	fs := New(nil,
+		FailNth(OpRename, 2, nil),
+		Rule{Op: OpRemove, Nth: 2, Count: 1},
+		FailAll(OpSyncDir, nil),
+	)
+	dir := t.TempDir()
+	mk := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Nth=2, Count=0: exactly the second occurrence fails.
+	if err := fs.Rename(mk("a"), filepath.Join(dir, "a2")); err != nil {
+		t.Fatalf("first rename: %v", err)
+	}
+	if err := fs.Rename(mk("b"), filepath.Join(dir, "b2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second rename = %v, want injected", err)
+	}
+	if err := fs.Rename(mk("c"), filepath.Join(dir, "c2")); err != nil {
+		t.Fatalf("third rename: %v", err)
+	}
+
+	// Nth=2, Count=1: occurrences 2 and 3 fail.
+	if err := fs.Remove(mk("d")); err != nil {
+		t.Fatalf("first remove: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := fs.Remove(mk("e")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("remove %d = %v, want injected", 2+i, err)
+		}
+	}
+	if err := fs.Remove(mk("f")); err != nil {
+		t.Fatalf("fourth remove: %v", err)
+	}
+
+	// Count<0: every occurrence fails, and the counter still counts.
+	for i := 0; i < 3; i++ {
+		if err := fs.SyncDir(dir); !errors.Is(err, ErrInjected) {
+			t.Fatalf("syncdir %d = %v, want injected", i+1, err)
+		}
+	}
+	if n := fs.Count(OpSyncDir); n != 3 {
+		t.Errorf("Count(syncdir) = %d, want 3", n)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, TornWrite(1, 4))
+	f, err := fs.CreateTemp(dir, "torn-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write returned (%d, %v), want (4, injected)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123" {
+		t.Errorf("torn file holds %q, want the 4-byte prefix", got)
+	}
+}
+
+func TestPanicSinks(t *testing.T) {
+	var delivered int
+	sink := PanicSink(func(*core.SessionReport) { delivered++ }, 3)
+	rep := &core.SessionReport{}
+	sink(rep)
+	sink(rep)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("third report did not panic")
+			}
+		}()
+		sink(rep)
+	}()
+	if delivered != 2 {
+		t.Errorf("inner sink saw %d reports, want 2 (the panicking one is withheld)", delivered)
+	}
+
+	var batches int
+	bsink := PanicBatchSink(func([]*core.SessionReport) { batches++ }, 3)
+	bsink([]*core.SessionReport{rep, rep}) // cumulative 2: delivered
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batch crossing the third report did not panic")
+			}
+		}()
+		bsink([]*core.SessionReport{rep, rep}) // crosses 3: panics
+	}()
+	bsink([]*core.SessionReport{rep}) // past the mark: delivered again
+	if batches != 2 {
+		t.Errorf("inner batch sink saw %d batches, want 2", batches)
+	}
+}

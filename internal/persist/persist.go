@@ -4,6 +4,12 @@
 // written to a temporary file in the destination directory, synced, and
 // renamed over the target only on success, so a restarted monitor never
 // reads a torn or half-written checkpoint.
+//
+// Every durability-relevant operation goes through the FS seam, so tests
+// can inject faults (internal/faultinject) at exactly the syscall that is
+// supposed to be crash-safe: a torn write, a failed fsync, a rename that
+// never lands, a full disk. Production callers use the package-level
+// Atomic/Load, which run against the real filesystem (OS).
 package persist
 
 import (
@@ -13,20 +19,112 @@ import (
 	"path/filepath"
 )
 
+// File is the writable handle AtomicFS drives: the subset of *os.File the
+// write-temp-sync-rename protocol needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS abstracts the filesystem operations the persistence layer performs —
+// the seam through which internal/faultinject injects deterministic
+// failures. OS is the real implementation. The helpers taking an FS treat
+// nil as OS.
+type FS interface {
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// semantics for pattern).
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (io.ReadCloser, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// ReadDir lists the names of the entries in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making a completed rename
+	// durable against power loss.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (io.ReadCloser, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
 // Atomic writes the document produced by write to path via a
-// write-temp-then-rename: the temporary file lives in path's directory (a
-// rename across filesystems is not atomic), is fsynced before the rename,
-// and is removed on any failure. On success the previous file at path, if
-// any, is replaced in one step.
-func Atomic(path string, write func(io.Writer) error) (err error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+// write-temp-then-rename against the real filesystem. See AtomicFS.
+func Atomic(path string, write func(io.Writer) error) error {
+	return AtomicFS(OS, path, write)
+}
+
+// AtomicFS writes the document produced by write to path via a
+// write-temp-then-rename on fs (nil = OS): the temporary file lives in
+// path's directory (a rename across filesystems is not atomic), is fsynced
+// before the rename, and is removed on any failure. After the rename the
+// parent directory is fsynced too — on ext4/XFS a crash after the rename
+// but before the directory entry hits disk can otherwise lose the file
+// entirely. On success the previous file at path, if any, is replaced in
+// one step.
+func AtomicFS(fs FS, path string, write func(io.Writer) error) (err error) {
+	if fs == nil {
+		fs = OS
+	}
+	tmp, err := fs.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fs.Remove(tmp.Name())
 		}
 	}()
 	if err = write(tmp); err != nil {
@@ -38,19 +136,32 @@ func Atomic(path string, write func(io.Writer) error) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("persist: closing %s: %w", path, err)
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err = fs.Rename(tmp.Name(), path); err != nil {
+		fs.Remove(tmp.Name())
 		return fmt.Errorf("persist: committing %s: %w", path, err)
+	}
+	if err = fs.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("persist: syncing directory of %s: %w", path, err)
 	}
 	return nil
 }
 
-// Load opens path and hands the reader to read, closing the file afterwards.
-// It is the read-side counterpart of Atomic; a missing file surfaces as an
-// error matching os.IsNotExist / errors.Is(err, fs.ErrNotExist) so callers
-// can treat "no checkpoint yet" as a cold start.
+// Load opens path and hands the reader to read, closing the file
+// afterwards, against the real filesystem. See LoadFS.
 func Load(path string, read func(io.Reader) error) error {
-	f, err := os.Open(path)
+	return LoadFS(OS, path, read)
+}
+
+// LoadFS opens path on fs (nil = OS) and hands the reader to read, closing
+// the file afterwards. It is the read-side counterpart of Atomic; a missing
+// file surfaces as an error matching os.IsNotExist /
+// errors.Is(err, fs.ErrNotExist) so callers can treat "no checkpoint yet"
+// as a cold start.
+func LoadFS(fs FS, path string, read func(io.Reader) error) error {
+	if fs == nil {
+		fs = OS
+	}
+	f, err := fs.Open(path)
 	if err != nil {
 		return err
 	}

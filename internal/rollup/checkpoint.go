@@ -19,8 +19,10 @@
 package rollup
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/netip"
 	"sort"
@@ -32,10 +34,29 @@ import (
 
 // checkpointFormat names the document schema. v2 added the per-bucket
 // percentile sketches (throughput, qoe_proxy) and the unknown-bucket
-// counters; v1 documents are rejected rather than restored with silently
-// empty distributions — delete the old checkpoint (or re-run the capture)
-// to migrate.
-const checkpointFormat = "gamelens-rollup-v2"
+// counters; v3 added the mandatory integrity footer (see integrityFooter).
+// Older documents are rejected rather than restored with silently empty
+// distributions or unverifiable integrity — delete the old checkpoint (or
+// re-run the capture) to migrate.
+const checkpointFormat = "gamelens-rollup-v3"
+
+// footerFormat names the integrity-footer line's own schema, so the footer
+// can evolve independently of the document.
+const footerFormat = "gamelens-rollup-footer-v1"
+
+// integrityFooter is the one-line JSON trailer Snapshot appends after the
+// document: the document's byte length and CRC32 (IEEE), terminated by a
+// newline. Restore requires it, which is what makes truncation detectable
+// at every byte boundary — any proper prefix of a checkpoint either loses
+// the trailing newline, tears the footer's JSON, or leaves a footer whose
+// length/CRC no longer match the bytes before it. Without the footer a
+// prefix that happened to end on a JSON boundary could decode as a valid,
+// smaller window and silently mis-restore.
+type integrityFooter struct {
+	Format string `json:"format"`
+	Bytes  int    `json:"bytes"`
+	CRC32  uint32 `json:"crc32"`
+}
 
 // checkpointJSON is the stable on-disk representation of a Rollup.
 type checkpointJSON struct {
@@ -97,21 +118,76 @@ func (r *Rollup) Snapshot(w io.Writer) error {
 		sort.Slice(sj.Buckets, func(i, j int) bool { return sj.Buckets[i].Idx < sj.Buckets[j].Idx })
 		doc.Subs = append(doc.Subs, sj)
 	}
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("rollup: encoding checkpoint: %w", err)
 	}
+	if _, err := w.Write(appendFooter(buf.Bytes())); err != nil {
+		return fmt.Errorf("rollup: writing checkpoint: %w", err)
+	}
 	return nil
+}
+
+// appendFooter returns doc with its integrity footer line appended.
+func appendFooter(doc []byte) []byte {
+	footer, err := json.Marshal(integrityFooter{
+		Format: footerFormat,
+		Bytes:  len(doc),
+		CRC32:  crc32.ChecksumIEEE(doc),
+	})
+	if err != nil {
+		panic(err) // a struct of string+ints cannot fail to marshal
+	}
+	out := append(doc, footer...)
+	return append(out, '\n')
+}
+
+// splitFooter validates data's integrity footer and returns the document
+// bytes it covers. Every failure mode a truncation or bit flip can produce
+// lands here: a missing terminator, a torn footer line, or a length/CRC
+// mismatch against the preceding bytes.
+func splitFooter(data []byte) ([]byte, error) {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("rollup: checkpoint truncated: missing integrity footer terminator")
+	}
+	body := data[:len(data)-1]
+	i := bytes.LastIndexByte(body, '\n')
+	if i < 0 {
+		return nil, fmt.Errorf("rollup: checkpoint has no integrity footer")
+	}
+	doc, line := body[:i+1], body[i+1:]
+	var f integrityFooter
+	if err := json.Unmarshal(line, &f); err != nil {
+		return nil, fmt.Errorf("rollup: corrupt integrity footer: %w", err)
+	}
+	if f.Format != footerFormat {
+		return nil, fmt.Errorf("rollup: unknown integrity footer format %q", f.Format)
+	}
+	if f.Bytes != len(doc) || f.CRC32 != crc32.ChecksumIEEE(doc) {
+		return nil, fmt.Errorf("rollup: checkpoint integrity mismatch (torn or corrupted file)")
+	}
+	return doc, nil
 }
 
 // Restore rebuilds a rollup from a checkpoint written by Snapshot. The
 // window geometry (span and bucket count) comes from the document, so the
 // restored rollup continues with exactly the configuration that produced
-// the checkpoint.
+// the checkpoint. The integrity footer is verified before anything is
+// decoded, so a checkpoint truncated at any byte boundary — or corrupted
+// anywhere in between — is rejected rather than mis-restored.
 func Restore(rd io.Reader) (*Rollup, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("rollup: reading checkpoint: %w", err)
+	}
+	docBytes, err := splitFooter(data)
+	if err != nil {
+		return nil, err
+	}
 	var doc checkpointJSON
-	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+	if err := json.Unmarshal(docBytes, &doc); err != nil {
 		return nil, fmt.Errorf("rollup: decoding checkpoint: %w", err)
 	}
 	if doc.Format != checkpointFormat {
@@ -200,8 +276,14 @@ func (r *Rollup) SaveFile(path string) error {
 // missing file surfaces the os.Open error unchanged so callers can treat it
 // as a cold start.
 func LoadFile(path string) (*Rollup, error) {
+	return LoadFileFS(persist.OS, path)
+}
+
+// LoadFileFS is LoadFile against an explicit persist filesystem (nil = the
+// real one) — the seam fault-injection tests and the recovery scan use.
+func LoadFileFS(fs persist.FS, path string) (*Rollup, error) {
 	var r *Rollup
-	err := persist.Load(path, func(rd io.Reader) error {
+	err := persist.LoadFS(fs, path, func(rd io.Reader) error {
 		var err error
 		r, err = Restore(rd)
 		return err

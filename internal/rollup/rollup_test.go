@@ -304,36 +304,53 @@ func TestCheckpointSurvivesNaNMeasurements(t *testing.T) {
 	}
 }
 
+// footered appends a valid integrity footer to a hand-built document, the
+// way Snapshot does, so each garbage case below fails for its named
+// document-level reason rather than at the footer gate.
+func footered(doc string) string {
+	if !strings.HasSuffix(doc, "\n") {
+		doc += "\n"
+	}
+	return string(appendFooter([]byte(doc)))
+}
+
 func TestRestoreRejectsGarbage(t *testing.T) {
 	// sketches renders valid counts-consistent sketch fields for a
 	// one-session bucket, so each case below fails only for its named
 	// reason.
 	const sketches = `"throughput":{"alpha":0.05,"min":0.001,"max":100000,"centroids":[[100,1]]},` +
 		`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}`
+	okDoc := `{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,"clock":"2026-07-01T06:00:00Z","ingested":1,` +
+		`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":82782,"counts":{"sessions":1,"stage_minutes":[0,0,0,0],"mbps_sum":0,"objective":[0,1,0],"effective":[0,1,0],` + sketches + `}}]}]}`
 	for name, doc := range map[string]string{
-		"not json":      "patently not json",
-		"wrong format":  `{"format":"gamelens-forest-v1","window_ns":1,"buckets":1}`,
-		"v1 checkpoint": `{"format":"gamelens-rollup-v1","window_ns":3600000000000,"buckets":6,"subscribers":[]}`,
-		"bad geometry":  `{"format":"gamelens-rollup-v2","window_ns":0,"buckets":0}`,
-		"bad addr":      `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,"subscribers":[{"addr":"nope","buckets":[]}]}`,
-		"dup slot": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` + sketches + `}},{"idx":7,"counts":{"sessions":1,` + sketches + `}}]}]}`,
-		"sentinel idx": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":-9223372036854775808,"counts":{"sessions":1,` + sketches + `}}]}]}`,
-		"zero sessions": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":0,` + sketches + `}}]}]}`,
-		"missing sketch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1}}]}]}`,
-		"alien sketch geometry": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+		"not json":      footered("patently not json"),
+		"wrong format":  footered(`{"format":"gamelens-forest-v1","window_ns":1,"buckets":1}`),
+		"v2 checkpoint": footered(`{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,"subscribers":[]}`),
+		"bad geometry":  footered(`{"format":"gamelens-rollup-v3","window_ns":0,"buckets":0}`),
+		"bad addr":      footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,"subscribers":[{"addr":"nope","buckets":[]}]}`),
+		"dup slot": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` + sketches + `}},{"idx":7,"counts":{"sessions":1,` + sketches + `}}]}]}`),
+		"sentinel idx": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":-9223372036854775808,"counts":{"sessions":1,` + sketches + `}}]}]}`),
+		"zero sessions": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":0,` + sketches + `}}]}]}`),
+		"missing sketch": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1}}]}]}`),
+		"alien sketch geometry": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
 			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` +
 			`"throughput":{"alpha":0.01,"min":0.001,"max":100000,"zero":1},` +
-			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`,
-		"sketch count mismatch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
-			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":2,` + sketches + `}}]}]}`,
-		"corrupt sketch": `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,` +
+			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`),
+		"sketch count mismatch": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
+			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":2,` + sketches + `}}]}]}`),
+		"corrupt sketch": footered(`{"format":"gamelens-rollup-v3","window_ns":3600000000000,"buckets":6,` +
 			`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":1,"counts":{"sessions":1,` +
 			`"throughput":{"alpha":0.05,"min":0.001,"max":100000,"centroids":[[100,1],[50,1]]},` +
-			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`,
+			`"qoe_proxy":{"alpha":0.05,"min":0.001,"max":100000,"zero":1}}}]}]}`),
+		// Footer-gate failures: a document without a footer (a pre-v3
+		// checkpoint tail, or a truncation that lost the footer line), and a
+		// footer whose CRC no longer matches the bytes it covers.
+		"missing footer": okDoc + "\n",
+		"bad footer crc": strings.Replace(footered(okDoc), `"idx":82782`, `"idx":82783`, 1),
 	} {
 		if _, err := Restore(strings.NewReader(doc)); err == nil {
 			t.Errorf("%s: Restore accepted invalid checkpoint", name)
@@ -341,10 +358,8 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	}
 	// The valid skeleton the cases above corrupt must itself restore, or
 	// the rejections prove nothing.
-	ok := `{"format":"gamelens-rollup-v2","window_ns":3600000000000,"buckets":6,"clock":"2026-07-01T06:00:00Z","ingested":1,` +
-		`"subscribers":[{"addr":"10.0.0.1","buckets":[{"idx":82782,"counts":{"sessions":1,"stage_minutes":[0,0,0,0],"mbps_sum":0,"objective":[0,1,0],"effective":[0,1,0],` + sketches + `}}]}]}`
-	if _, err := Restore(strings.NewReader(ok)); err != nil {
-		t.Errorf("valid v2 skeleton rejected: %v", err)
+	if _, err := Restore(strings.NewReader(footered(okDoc))); err != nil {
+		t.Errorf("valid v3 skeleton rejected: %v", err)
 	}
 }
 
