@@ -18,9 +18,9 @@ GOFMT ?= gofmt
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate lintgate lint faultgate
+.PHONY: check test build fmt vet race bench benchsmoke ckptsmoke allocgate sinkgate mergesmoke scalegate lintgate lint faultgate storegate
 
-check: fmt vet build race lintgate allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate faultgate
+check: fmt vet build race lintgate allocgate sinkgate benchsmoke ckptsmoke mergesmoke scalegate faultgate storegate
 
 # Fail (and list the offenders) if any file is not gofmt-clean.
 fmt:
@@ -75,14 +75,16 @@ sinkgate:
 # -count 3, and benchjson keeps each benchmark's fastest run (min-of-N is
 # the standard noise filter — the fastest run is the least
 # scheduler-disturbed) plus a _meta entry recording GOMAXPROCS and the CPU
-# count the numbers are conditional on. Results land in BENCH_7.json
+# count the numbers are conditional on. Results land in BENCH_8.json
 # (benchmark → ns/op, B/op, allocs/op, custom metrics) so the perf
 # trajectory is machine-readable across PRs. BenchmarkEmitterDrain (in
 # internal/engine; benchjson folds the multi-package stream into one file)
 # isolates the per-report emission cost — ring pop → sinks → rollup fold →
 # recycle — whose reports/s and B/op track the lock-free report path.
+# BenchmarkStoreSealCompact (internal/rollup/store) measures the archive's
+# full ingest→seal→compact→GC cycle on a fresh directory per iteration.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState|BenchmarkEmitterDrain' -benchmem -benchtime 3x -count 3 . ./internal/engine | $(GO) run ./cmd/benchjson -o BENCH_7.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineShards|BenchmarkPipelineEviction|BenchmarkRollupIngest|BenchmarkSteadyState|BenchmarkEmitterDrain|BenchmarkStoreSealCompact' -benchmem -benchtime 3x -count 3 . ./internal/engine ./internal/rollup/store | $(GO) run ./cmd/benchjson -o BENCH_8.json
 
 # One cheap iteration of the lifecycle, rollup and steady-state benches in
 # short mode: a CI smoke that the bench code compiles and its invariants
@@ -113,6 +115,15 @@ mergesmoke:
 # from internal/faultinject plans, so a failure replays exactly.
 faultgate:
 	$(GO) test -run 'TestFaultGate' -count=1 -short ./internal/rollup ./internal/faultinject ./cmd/classify
+
+# Tiered-archive gate, short mode: the seal→compact→query round trip and
+# the lossless-compaction property — a day partition byte-identical to the
+# merge of its constituent hours, queries over live+archive equal to the
+# unbounded reference — plus shard-grouping invariance (1..8), resume round
+# trips, GC watermark coverage, and the store's torn-write/ENOSPC fault
+# plans (TestStoreGate* includes the store fault tests).
+storegate:
+	$(GO) test -run 'TestStoreGate' -count=1 -short ./internal/rollup/store
 
 # Shard-scaling inversion gate: replaying the bench capture with
 # shards=GOMAXPROCS must not fall below 0.9x the single-shard run (the

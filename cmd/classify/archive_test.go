@@ -1,0 +1,107 @@
+package main
+
+// CLI coverage for the tiered historical archive: -archive runs the real
+// run() path — store open, batch-sink tap, emitter-hook seal driver,
+// final flush — against a real capture, resumes the same directory across
+// runs, and surfaces a final flush failure as the named errArchiveWrite.
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"gamelens"
+	"gamelens/internal/faultinject"
+)
+
+func TestArchiveRunAndResume(t *testing.T) {
+	useTinyModels(t)
+	capture := smallCapture(t)
+	dir := filepath.Join(t.TempDir(), "archive")
+	ckpt := filepath.Join(t.TempDir(), "rollup.ckpt")
+
+	// Run 1: archive only, no rollup — the archive drives the emitter's
+	// checkpoint hook directly.
+	if err := run([]string{"-shards", "2", "-archive", dir, capture}, io.Discard); err != nil {
+		t.Fatalf("archive-only run failed: %v", err)
+	}
+	for _, name := range []string{"MANIFEST.json", "PENDING.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("run left no %s: %v", name, err)
+		}
+	}
+	s1, err := gamelens.OpenArchive(gamelens.ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopening archive: %v", err)
+	}
+	st1 := s1.Stats()
+	if st1.Ingested == 0 {
+		t.Fatal("archive ingested nothing")
+	}
+	if st1.Late != 0 || len(st1.Quarantined) != 0 {
+		t.Errorf("archive not clean after run: late=%d quarantined=%v", st1.Late, st1.Quarantined)
+	}
+
+	// Run 2: same directory plus a rollup checkpoint — the archive rides
+	// the Checkpointer's Archive hook, its geometry adopted from the
+	// manifest, its pending tail resumed. The same capture replays onto
+	// the still-unsealed hour, so nothing is late and ingest doubles.
+	if err := run([]string{"-shards", "2", "-rollup", "30m", "-checkpoint", ckpt,
+		"-archive", dir, capture}, io.Discard); err != nil {
+		t.Fatalf("resumed archive run failed: %v", err)
+	}
+	s2, err := gamelens.OpenArchive(gamelens.ArchiveConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopening archive after resume: %v", err)
+	}
+	st2 := s2.Stats()
+	if st2.Ingested != 2*st1.Ingested {
+		t.Errorf("resumed run ingested %d entries total, want %d (double the first run)",
+			st2.Ingested, 2*st1.Ingested)
+	}
+	if st2.Late != 0 {
+		t.Errorf("resumed run dropped %d entries late", st2.Late)
+	}
+}
+
+func TestArchiveRetainFlagsRequireArchive(t *testing.T) {
+	err := run([]string{"-retain-hour", "1h", "capture.pcap"}, io.Discard)
+	if err == nil {
+		t.Fatal("-retain-hour accepted without -archive")
+	}
+	if !strings.Contains(err.Error(), "-archive") {
+		t.Errorf("refusal does not name -archive: %v", err)
+	}
+}
+
+func TestFaultGateArchiveFinalFlushFailureExitsNonZero(t *testing.T) {
+	useTinyModels(t)
+	capture := smallCapture(t)
+	dir := filepath.Join(t.TempDir(), "archive")
+
+	// Every flush of the pending tail hits a full disk (the Substr filter
+	// leaves the manifest write at open untouched): the final flush
+	// exhausts the persist protocol's retries and run() must surface the
+	// named error — never report success over a tail that was lost.
+	injectFS(t, faultinject.New(nil, faultinject.Rule{
+		Op: faultinject.OpSync, Substr: "PENDING", Nth: 1, Count: -1,
+		Err: faultinject.ErrNoSpace,
+	}))
+	err := run([]string{"-shards", "2", "-archive", dir, capture}, io.Discard)
+	if err == nil {
+		t.Fatal("run reported success with an unwritable archive tail")
+	}
+	if !errors.Is(err, errArchiveWrite) {
+		t.Errorf("failure not named errArchiveWrite: %v", err)
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("underlying ENOSPC not preserved: %v", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "PENDING.json")); !os.IsNotExist(statErr) {
+		t.Errorf("failed flush left a pending file (stat: %v)", statErr)
+	}
+}

@@ -56,6 +56,20 @@
 // the checkpoint's geometry. Multiple taps' checkpoints merge into one
 // fleet view with the rollupmerge command.
 //
+// -archive DIR additionally keeps history beyond the sliding window: every
+// report also feeds the tiered historical store, which seals each hour of
+// packet time into an immutable partition file under DIR, compacts hours
+// into days and days into weeks losslessly (the archive's day partition is
+// byte-identical to the merge of its hours), and deletes expired
+// partitions under -retain-hour/-retain-day/-retain-week (0 = the
+// library's defaults; negative = retain forever) only once their compacted
+// successor is durable. The archive advances on the packet clock from the
+// same emitter hook as -checkpoint-every, resumes its unsealed tail across
+// restarts, quarantines corrupt partitions aside as FILE.corrupt-N, and is
+// queried (or folded into fleet checkpoints) with the rollupmerge command.
+// An archive's tier geometry is pinned by its own manifest; reopening it
+// never needs geometry flags.
+//
 // At end of run classify also prints the report-path counters — reports
 // emitted and recycled, the emitter queue depth, and (when nonzero) the
 // supervision counters: sink panics recovered, reports dropped after a
@@ -67,7 +81,7 @@
 //
 // Usage:
 //
-//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] capture.pcap
+//	classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] [-archive DIR] [-retain-hour DUR] [-retain-day DUR] [-retain-week DUR] capture.pcap
 package main
 
 import (
@@ -94,7 +108,7 @@ import (
 // and the package comment's Usage section quotes it. A flag added here must
 // be added to the flag set below (and vice versa) or the mismatch is
 // visible in -h output next to PrintDefaults.
-const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] capture.pcap"
+const usageLine = "usage: classify [-title-model FILE] [-train-seed N] [-lag MS] [-loss FRAC] [-shards N] [-flow-ttl DUR] [-rollup DUR] [-rollup-shards N] [-checkpoint FILE] [-checkpoint-every N] [-rollup-force] [-archive DIR] [-retain-hour DUR] [-retain-day DUR] [-retain-week DUR] capture.pcap"
 
 // errUsage marks a command-line error: main exits 2 without a further
 // message (the flag set already printed one).
@@ -104,6 +118,10 @@ var errUsage = errors.New("usage")
 // everything but could not make the rollup durable, so classify must exit
 // non-zero rather than let an operator trust a stale checkpoint.
 var errCheckpointWrite = errors.New("classify: final rollup checkpoint failed")
+
+// errArchiveWrite is the archive counterpart: the run's unsealed tail (or a
+// due partition) could not be made durable at shutdown.
+var errArchiveWrite = errors.New("classify: final archive flush failed")
 
 // ckptFS is the filesystem every checkpoint write and recovery scan goes
 // through — a package seam so the fault-injection tests can run the real
@@ -145,6 +163,10 @@ func run(args []string, stdout io.Writer) error {
 	checkpoint := fs.String("checkpoint", "", "rollup checkpoint file: recovered at startup (newest valid generation; corrupt candidates quarantined), atomically rewritten at end of run")
 	ckptEvery := fs.Int("checkpoint-every", 0, "also write a generation-numbered checkpoint every N window-bucket rotations of capture time (0 = final checkpoint only; requires -checkpoint)")
 	rollupForce := fs.Bool("rollup-force", false, "resume from a checkpoint whose window geometry conflicts with -rollup (the checkpoint's geometry wins)")
+	archiveDir := fs.String("archive", "", "tiered historical archive directory: every report also feeds hour partitions sealed under this directory, compacted losslessly into days and weeks, queryable with rollupmerge")
+	retainHour := fs.Duration("retain-hour", 0, "hour-partition retention before compaction-backed deletion (0 = library default, negative = forever; requires -archive)")
+	retainDay := fs.Duration("retain-day", 0, "day-partition retention (0 = library default, negative = forever; requires -archive)")
+	retainWeek := fs.Duration("retain-week", 0, "week-partition retention (0 = library default, negative = forever; requires -archive)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), usageLine)
 		fs.PrintDefaults()
@@ -158,6 +180,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *ckptEvery > 0 && *checkpoint == "" {
 		return errors.New("-checkpoint-every requires -checkpoint")
+	}
+	if *archiveDir == "" && (*retainHour != 0 || *retainDay != 0 || *retainWeek != 0) {
+		return errors.New("-retain-hour/-retain-day/-retain-week require -archive")
 	}
 
 	// A signal interrupts the replay, not the shutdown: the read loop
@@ -214,6 +239,30 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	// The tiered historical archive taps the same report stream as the
+	// window; its geometry is pinned by its own on-disk manifest, so a
+	// resumed archive needs no flags beyond the directory.
+	var arch *gamelens.ArchiveStore
+	if *archiveDir != "" {
+		a, err := gamelens.OpenArchive(gamelens.ArchiveConfig{
+			Dir:    *archiveDir,
+			FS:     ckptFS,
+			Retain: [3]time.Duration{*retainHour, *retainDay, *retainWeek},
+		})
+		if err != nil {
+			return err
+		}
+		arch = a
+		as := arch.Stats()
+		for _, q := range as.Quarantined {
+			log.Printf("warning: quarantined corrupt archive file as %s", q)
+		}
+		log.Printf("archive %s: %d hour / %d day / %d week partitions, %d pending, clock %v",
+			*archiveDir, as.Partitions[gamelens.ArchiveTierHour],
+			as.Partitions[gamelens.ArchiveTierDay], as.Partitions[gamelens.ArchiveTierWeek],
+			as.Pending, arch.Clock().Format(time.RFC3339))
+	}
+
 	cfg := gamelens.EngineConfig{
 		Shards: *shards,
 		Pipeline: gamelens.PipelineConfig{
@@ -222,25 +271,43 @@ func run(args []string, stdout io.Writer) error {
 			FlowTTL: *flowTTL,
 		},
 	}
-	// The rollup always rides the emitter's batched drain: one lock
-	// acquisition per drained shard batch instead of one per report.
-	if ru != nil {
+	// The rollup (and the archive) always ride the emitter's batched drain:
+	// one lock acquisition per drained shard batch instead of one per report.
+	switch {
+	case ru != nil && arch != nil:
+		ruSink, archSink := ru.BatchSink(), arch.BatchSink()
+		cfg.BatchSink = func(reports []*gamelens.SessionReport) {
+			ruSink(reports)
+			archSink(reports)
+		}
+	case ru != nil:
 		cfg.BatchSink = ru.BatchSink()
+	case arch != nil:
+		cfg.BatchSink = arch.BatchSink()
 	}
 	// Periodic durability: a Checkpointer over the live window, ticked by
 	// the emitter after each drain, numbered from one past whatever the
 	// recovery scan saw on disk so a resumed run never overwrites evidence.
+	// The archive seals/compacts from the same hook (Archive), including
+	// when periodic checkpoints are off; without any checkpointer the
+	// archive ticks the emitter hook directly.
 	var cp *rollup.Checkpointer
 	if ru != nil && *checkpoint != "" {
-		cp = rollup.NewCheckpointer(ru, rollup.CheckpointerConfig{
+		ccfg := rollup.CheckpointerConfig{
 			Path:         *checkpoint,
 			EveryBuckets: *ckptEvery,
 			StartGen:     recInfo.NextGen,
 			FS:           ckptFS,
-		})
-		if *ckptEvery > 0 {
+		}
+		if arch != nil {
+			ccfg.Archive = arch
+		}
+		cp = rollup.NewCheckpointer(ru, ccfg)
+		if *ckptEvery > 0 || arch != nil {
 			cfg.Checkpoint = cp.Tick
 		}
+	} else if arch != nil {
+		cfg.Checkpoint = func() (bool, error) { return false, arch.Tick() }
 	}
 	streaming := *flowTTL > 0
 	if streaming {
@@ -325,6 +392,20 @@ readLoop:
 			}
 			log.Printf("rollup checkpointed to %s", *checkpoint)
 		}
+	}
+	if arch != nil {
+		// With a checkpointer, cp.Final above already flushed the archive
+		// (the Archive hook forwards); without one, flush it here.
+		if cp == nil {
+			if err := arch.Final(); err != nil {
+				return fmt.Errorf("%w: %w", errArchiveWrite, err)
+			}
+		}
+		as := arch.Stats()
+		log.Printf("archive %s: %d entries (%d late), %d sealed, %d compactions, %d expired removed; %d hour / %d day / %d week partitions, %d pending",
+			*archiveDir, as.Ingested, as.Late, as.Sealed, as.Compactions, as.Removed,
+			as.Partitions[gamelens.ArchiveTierHour], as.Partitions[gamelens.ArchiveTierDay],
+			as.Partitions[gamelens.ArchiveTierWeek], as.Pending)
 	}
 	return nil
 }

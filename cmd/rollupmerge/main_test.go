@@ -67,7 +67,7 @@ func TestRollupMergeCLI(t *testing.T) {
 	if err := run([]string{"-o", out, pathA, pathB}, &stdout, &stderr); err != nil {
 		t.Fatalf("rollupmerge failed: %v\nstderr: %s", err, stderr.String())
 	}
-	if !strings.Contains(stdout.String(), "merged 2 checkpoints") {
+	if !strings.Contains(stdout.String(), "merged 2 inputs") {
 		t.Errorf("summary line missing from output:\n%s", stdout.String())
 	}
 

@@ -146,6 +146,29 @@
 //	//             tap2, _ := gamelens.LoadRollup("tap2.ckpt")
 //	//             err = fleet.Merge(tap2)
 //
+// # Historical archive
+//
+// The sliding window answers "the last hour"; the tiered historical store
+// (ArchiveStore, internal/rollup/store) answers "last Tuesday". It taps the
+// same report stream (compose ArchiveStore.BatchSink with the rollup's) and
+// accumulates per-subscriber cells per hour of packet time; once the packet
+// clock passes an hour by the linger margin the cell set seals into an
+// immutable time-partitioned archive file. Sealed hours compact losslessly
+// into days and days into weeks — the merge is RollupCounts.Merge, the
+// exact cell-wise addition the window itself aggregates with, so a day
+// partition is byte-identical to the merge of its hours and nothing is
+// re-sketched or approximated — and expired partitions are deleted under a
+// per-tier retention policy (ArchiveConfig.Retain) only after their coarse
+// successor is durable. Queries (Range, Total, TopImpaired) span the
+// archive and the unsealed in-memory tail in one call, resolve each instant
+// through exactly one tier, and return canonical address-sorted output:
+// the same archive answers the same query byte-identically on every run.
+// Drive it from the emitter via RollupCheckpointerConfig.Archive (or wire
+// ArchiveStore.Tick into EngineConfig.Checkpoint directly when
+// checkpointing is off); cmd/classify -archive does exactly that, and
+// cmd/rollupmerge queries archives and folds partition files back into
+// fleet checkpoints.
+//
 // # Durability and failure model
 //
 // A monitor that runs for months will crash — power loss mid-write, a full
@@ -171,6 +194,23 @@
 // and friends) retry with bounded backoff; persistent ones count as a
 // failed generation and the monitor keeps analyzing — durability degrades
 // before liveness does.
+//
+// The historical archive extends the same contracts across tiers. Every
+// archive document — partition, manifest, pending tail — rides the same
+// atomic protocol and CRC footer. A compaction source is never deleted
+// until its coarse successor is durable AND the tier's GC watermark has
+// been durably advanced past it in the archive manifest; queries switch
+// tiers on the watermark, so a crash anywhere in GC leaves orphans that
+// are ignored and reaped at the next Open, never a coverage gap and never
+// a double count. A torn or corrupt partition discovered at Open
+// quarantines aside as name.corrupt-N, its sources are still present, and
+// the next Tick recompacts a byte-identical replacement. A full disk costs
+// one counted error per partition interval (never one per drain), ingest
+// continues, and ArchiveConfig.MaxPending bounds the memory a persistently
+// failing disk can pin by dropping whole oldest partitions with a counter
+// (ArchiveStats.PendingDropped). A crash loses at most
+// ArchiveConfig.FlushEvery entries of unsealed tail past the last drain —
+// the sealed archive itself is never at risk.
 //
 // What recovery does: RecoverRollup scans the base path and every
 // generation sibling, restores the newest candidate that validates
@@ -320,6 +360,7 @@ import (
 	"gamelens/internal/gamesim"
 	"gamelens/internal/mlkit"
 	"gamelens/internal/rollup"
+	"gamelens/internal/rollup/store"
 	"gamelens/internal/sketch"
 	"gamelens/internal/stageclass"
 	"gamelens/internal/titleclass"
@@ -382,6 +423,26 @@ type (
 	// restored path and generation, the next generation number, and any
 	// quarantined corrupt candidates.
 	RollupRecoverInfo = rollup.RecoverInfo
+	// ArchiveStore is the tiered historical rollup archive: live hours seal
+	// into time-partitioned files, compact losslessly into days and weeks,
+	// expire under retention, and answer cross-tier time-range queries
+	// (Range, Total, TopImpaired) spanning archive and unsealed tail.
+	ArchiveStore = store.Store
+	// ArchiveConfig tunes an archive (directory, tier spans, linger,
+	// retention, pending-tail flush cadence, pending bound).
+	ArchiveConfig = store.Config
+	// ArchiveStats are the archive's observability counters.
+	ArchiveStats = store.Stats
+	// ArchiveTier indexes the archive granularities (ArchiveTierHour /
+	// ArchiveTierDay / ArchiveTierWeek).
+	ArchiveTier = store.Tier
+	// ArchivePartition is one archive partition file decoded standalone
+	// (ReadArchivePartition) — what cmd/rollupmerge folds into fleet views.
+	ArchivePartition = store.Partition
+	// RollupArchiver is the archive surface a RollupCheckpointer drives
+	// alongside its checkpoint cadence (RollupCheckpointerConfig.Archive);
+	// ArchiveStore implements it.
+	RollupArchiver = rollup.Archiver
 	// QuantileSketch is the deterministic mergeable quantile sketch rollup
 	// buckets carry for throughput and QoE-proxy distributions.
 	QuantileSketch = sketch.Sketch
@@ -392,6 +453,31 @@ type (
 	// Session is one generated cloud-gaming session.
 	Session = gamesim.Session
 )
+
+// The archive tier names, re-exported for ArchiveConfig.Spans/Retain
+// indexing and ArchiveStats.Partitions.
+const (
+	ArchiveTierHour = store.TierHour
+	ArchiveTierDay  = store.TierDay
+	ArchiveTierWeek = store.TierWeek
+)
+
+// OpenArchive opens (or initializes) the tiered historical archive at
+// cfg.Dir: geometry is pinned by the archive's own manifest (a caller that
+// sets no spans adopts the manifest's), corrupt partitions quarantine
+// aside, and the unsealed tail resumes from the last flush. See the
+// package comment's historical-archive section for the tier, retention and
+// query semantics.
+func OpenArchive(cfg ArchiveConfig) (*ArchiveStore, error) {
+	return store.Open(cfg)
+}
+
+// ReadArchivePartition loads and fully validates one archive partition
+// file standalone — the fold path cmd/rollupmerge uses to merge archive
+// history into a fleet checkpoint (see Rollup.InjectCounts).
+func ReadArchivePartition(path string) (*ArchivePartition, error) {
+	return store.ReadPartitionFile(nil, path)
+}
 
 // Models bundles the two trained classifiers a pipeline needs.
 type Models struct {

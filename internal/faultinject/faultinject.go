@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 
@@ -31,6 +33,7 @@ const (
 	OpRemove  Op = "remove"  // FS.Remove
 	OpReadDir Op = "readdir" // FS.ReadDir
 	OpSyncDir Op = "syncdir" // FS.SyncDir
+	OpMkdir   Op = "mkdir"   // FS.MkdirAll
 )
 
 // ErrInjected is the default error returned by a firing rule.
@@ -41,14 +44,23 @@ var ErrInjected = errors.New("faultinject: injected fault")
 var ErrNoSpace error = syscall.ENOSPC
 
 // Rule selects which occurrences of one operation class fail. Occurrences
-// are counted per Op across the whole FS, in execution order, starting at 1.
+// are counted per rule, in execution order, starting at 1; a rule with a
+// Substr filter counts only the occurrences whose path matches, so "the 2nd
+// write to the day-tier partition" is expressible even when unrelated files
+// are written in between.
 type Rule struct {
 	// Op is the operation class the rule applies to.
 	Op Op
-	// Nth is the first occurrence (1-based) that fails.
+	// Substr, when non-empty, restricts the rule to operations whose path
+	// contains it as a substring. For file-handle operations (write, sync,
+	// close) the path is the created file's name; for CreateTemp it is
+	// dir/pattern (the pattern carries the target's base name under the
+	// persist.AtomicFS protocol); for Rename it is the destination path.
+	Substr string
+	// Nth is the first matching occurrence (1-based) that fails.
 	Nth int
-	// Count is how many consecutive occurrences fail from Nth on: 0 means
-	// exactly one, negative means every occurrence from Nth.
+	// Count is how many consecutive matching occurrences fail from Nth on:
+	// 0 means exactly one, negative means every occurrence from Nth.
 	Count int
 	// Err is the injected error (ErrInjected when nil).
 	Err error
@@ -78,10 +90,11 @@ func TornWrite(nth, k int) Rule {
 // fault plan. Safe for concurrent use; the occurrence counters make every
 // run of a deterministic caller identical.
 type FS struct {
-	inner persist.FS
-	mu    sync.Mutex
-	seen  map[Op]int
-	rules []Rule
+	inner   persist.FS
+	mu      sync.Mutex
+	seen    map[Op]int
+	rules   []Rule
+	matched []int // per-rule count of occurrences in the rule's scope
 }
 
 // New builds a fault-injecting FS over inner applying rules in order (the
@@ -90,7 +103,7 @@ func New(inner persist.FS, rules ...Rule) *FS {
 	if inner == nil {
 		inner = persist.OS
 	}
-	return &FS{inner: inner, seen: map[Op]int{}, rules: rules}
+	return &FS{inner: inner, seen: map[Op]int{}, rules: rules, matched: make([]int, len(rules))}
 }
 
 // Count reports how many occurrences of op the FS has seen so far —
@@ -101,16 +114,20 @@ func (f *FS) Count(op Op) int {
 	return f.seen[op]
 }
 
-// occurrence records one occurrence of op and returns the rule it trips,
-// if any.
-func (f *FS) occurrence(op Op) *Rule {
+// occurrence records one occurrence of op at the named path and returns the
+// rule it trips, if any.
+func (f *FS) occurrence(op Op, name string) *Rule {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.seen[op]++
-	n := f.seen[op]
 	for i := range f.rules {
 		r := &f.rules[i]
-		if r.Op != op || n < r.Nth {
+		if r.Op != op || (r.Substr != "" && !strings.Contains(name, r.Substr)) {
+			continue
+		}
+		f.matched[i]++
+		n := f.matched[i]
+		if n < r.Nth {
 			continue
 		}
 		if r.Count >= 0 {
@@ -136,7 +153,7 @@ func ruleErr(r *Rule) error {
 
 // CreateTemp implements persist.FS.
 func (f *FS) CreateTemp(dir, pattern string) (persist.File, error) {
-	if r := f.occurrence(OpCreate); r != nil {
+	if r := f.occurrence(OpCreate, filepath.Join(dir, pattern)); r != nil {
 		return nil, ruleErr(r)
 	}
 	inner, err := f.inner.CreateTemp(dir, pattern)
@@ -148,7 +165,7 @@ func (f *FS) CreateTemp(dir, pattern string) (persist.File, error) {
 
 // Open implements persist.FS.
 func (f *FS) Open(name string) (io.ReadCloser, error) {
-	if r := f.occurrence(OpOpen); r != nil {
+	if r := f.occurrence(OpOpen, name); r != nil {
 		return nil, ruleErr(r)
 	}
 	return f.inner.Open(name)
@@ -156,7 +173,7 @@ func (f *FS) Open(name string) (io.ReadCloser, error) {
 
 // Rename implements persist.FS.
 func (f *FS) Rename(oldpath, newpath string) error {
-	if r := f.occurrence(OpRename); r != nil {
+	if r := f.occurrence(OpRename, newpath); r != nil {
 		return ruleErr(r)
 	}
 	return f.inner.Rename(oldpath, newpath)
@@ -164,7 +181,7 @@ func (f *FS) Rename(oldpath, newpath string) error {
 
 // Remove implements persist.FS.
 func (f *FS) Remove(name string) error {
-	if r := f.occurrence(OpRemove); r != nil {
+	if r := f.occurrence(OpRemove, name); r != nil {
 		return ruleErr(r)
 	}
 	return f.inner.Remove(name)
@@ -172,7 +189,7 @@ func (f *FS) Remove(name string) error {
 
 // ReadDir implements persist.FS.
 func (f *FS) ReadDir(dir string) ([]string, error) {
-	if r := f.occurrence(OpReadDir); r != nil {
+	if r := f.occurrence(OpReadDir, dir); r != nil {
 		return nil, ruleErr(r)
 	}
 	return f.inner.ReadDir(dir)
@@ -180,10 +197,18 @@ func (f *FS) ReadDir(dir string) ([]string, error) {
 
 // SyncDir implements persist.FS.
 func (f *FS) SyncDir(dir string) error {
-	if r := f.occurrence(OpSyncDir); r != nil {
+	if r := f.occurrence(OpSyncDir, dir); r != nil {
 		return ruleErr(r)
 	}
 	return f.inner.SyncDir(dir)
+}
+
+// MkdirAll implements persist.FS.
+func (f *FS) MkdirAll(dir string) error {
+	if r := f.occurrence(OpMkdir, dir); r != nil {
+		return ruleErr(r)
+	}
+	return f.inner.MkdirAll(dir)
 }
 
 // file applies the write/sync/close rules to one created file.
@@ -193,7 +218,7 @@ type file struct {
 }
 
 func (w *file) Write(p []byte) (int, error) {
-	if r := w.fs.occurrence(OpWrite); r != nil {
+	if r := w.fs.occurrence(OpWrite, w.inner.Name()); r != nil {
 		n := r.TornAt
 		if n > len(p) {
 			n = len(p)
@@ -209,14 +234,14 @@ func (w *file) Write(p []byte) (int, error) {
 }
 
 func (w *file) Sync() error {
-	if r := w.fs.occurrence(OpSync); r != nil {
+	if r := w.fs.occurrence(OpSync, w.inner.Name()); r != nil {
 		return ruleErr(r)
 	}
 	return w.inner.Sync()
 }
 
 func (w *file) Close() error {
-	if r := w.fs.occurrence(OpClose); r != nil {
+	if r := w.fs.occurrence(OpClose, w.inner.Name()); r != nil {
 		return ruleErr(r)
 	}
 	return w.inner.Close()

@@ -59,6 +59,58 @@ func TestRuleSelection(t *testing.T) {
 	}
 }
 
+func TestSubstrScopesRuleToMatchingPaths(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, Rule{Op: OpWrite, Substr: "day-", Nth: 2})
+
+	write := func(pattern, payload string) error {
+		f, err := fs.CreateTemp(dir, pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, werr := f.Write([]byte(payload))
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return werr
+	}
+
+	// Writes to non-matching files never count against the rule, no matter
+	// how many happen in between.
+	if err := write("hour-100.part.tmp-*", "a"); err != nil {
+		t.Fatalf("hour write 1: %v", err)
+	}
+	if err := write("day-0.part.tmp-*", "b"); err != nil {
+		t.Fatalf("day write 1 (Nth=2 must spare it): %v", err)
+	}
+	if err := write("hour-200.part.tmp-*", "c"); err != nil {
+		t.Fatalf("hour write 2: %v", err)
+	}
+	if err := write("day-0.part.tmp-*", "d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("day write 2 = %v, want injected", err)
+	}
+	if err := write("day-0.part.tmp-*", "e"); err != nil {
+		t.Fatalf("day write 3: %v", err)
+	}
+}
+
+func TestMkdirAllInjection(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil, FailNth(OpMkdir, 1, ErrNoSpace))
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("first mkdir = %v, want ENOSPC", err)
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b")); err != nil {
+		t.Fatalf("second mkdir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a/b")); err != nil {
+		t.Fatalf("directory not created: %v", err)
+	}
+	if n := fs.Count(OpMkdir); n != 2 {
+		t.Errorf("Count(mkdir) = %d, want 2", n)
+	}
+}
+
 func TestTornWritePersistsPrefix(t *testing.T) {
 	dir := t.TempDir()
 	fs := New(nil, TornWrite(1, 4))

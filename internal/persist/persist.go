@@ -13,7 +13,10 @@
 package persist
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -42,11 +45,17 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove deletes the named file.
 	Remove(name string) error
-	// ReadDir lists the names of the entries in dir, sorted.
+	// ReadDir lists the names of the entries in dir. Implementations need
+	// not sort them (os.ReadDir happens to; an injected FS may not), so
+	// callers whose behavior depends on scan order must sort the returned
+	// names themselves.
 	ReadDir(dir string) ([]string, error)
 	// SyncDir fsyncs the directory itself, making a completed rename
 	// durable against power loss.
 	SyncDir(dir string) error
+	// MkdirAll creates the named directory along with any missing parents
+	// (os.MkdirAll semantics: an existing directory is not an error).
+	MkdirAll(dir string) error
 }
 
 // OS is the real filesystem.
@@ -85,6 +94,8 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 	}
 	return names, nil
 }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
 func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
@@ -144,6 +155,70 @@ func AtomicFS(fs FS, path string, write func(io.Writer) error) (err error) {
 		return fmt.Errorf("persist: syncing directory of %s: %w", path, err)
 	}
 	return nil
+}
+
+// FooterFormat names the integrity-footer line's schema. The string keeps
+// its historical rollup name — it is baked into every gamelens-rollup-v3
+// checkpoint already on disk — even though the footer now guards every
+// CRC-footed document the persist layer carries (rollup checkpoints and
+// the historical store's partition, pending and manifest files alike).
+const FooterFormat = "gamelens-rollup-footer-v1"
+
+// footer is the one-line JSON trailer AppendFooter appends after a
+// document: the document's byte length and CRC32 (IEEE), terminated by a
+// newline. SplitFooter requires it, which is what makes truncation
+// detectable at every byte boundary — any proper prefix of a footed file
+// either loses the trailing newline, tears the footer's JSON, or leaves a
+// footer whose length/CRC no longer match the bytes before it. Without the
+// footer a prefix that happened to end on a JSON boundary could decode as
+// a valid, smaller document and silently mis-restore.
+type footer struct {
+	Format string `json:"format"`
+	Bytes  int    `json:"bytes"`
+	CRC32  uint32 `json:"crc32"`
+}
+
+// AppendFooter returns doc with its integrity footer line appended. The
+// document must end with a newline of its own (json.Encoder output does),
+// so the footer line is identifiable as the last line of the file.
+func AppendFooter(doc []byte) []byte {
+	f, err := json.Marshal(footer{
+		Format: FooterFormat,
+		Bytes:  len(doc),
+		CRC32:  crc32.ChecksumIEEE(doc),
+	})
+	if err != nil {
+		panic(err) // a struct of string+ints cannot fail to marshal
+	}
+	out := append(doc, f...)
+	return append(out, '\n')
+}
+
+// SplitFooter validates data's integrity footer and returns the document
+// bytes it covers. Every failure mode a truncation or bit flip can produce
+// lands here: a missing terminator, a torn footer line, or a length/CRC
+// mismatch against the preceding bytes.
+func SplitFooter(data []byte) ([]byte, error) {
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		return nil, fmt.Errorf("persist: document truncated: missing integrity footer terminator")
+	}
+	body := data[:len(data)-1]
+	i := bytes.LastIndexByte(body, '\n')
+	if i < 0 {
+		return nil, fmt.Errorf("persist: document has no integrity footer")
+	}
+	doc, line := body[:i+1], body[i+1:]
+	var f footer
+	if err := json.Unmarshal(line, &f); err != nil {
+		return nil, fmt.Errorf("persist: corrupt integrity footer: %w", err)
+	}
+	if f.Format != FooterFormat {
+		return nil, fmt.Errorf("persist: unknown integrity footer format %q", f.Format)
+	}
+	if f.Bytes != len(doc) || f.CRC32 != crc32.ChecksumIEEE(doc) {
+		return nil, fmt.Errorf("persist: document integrity mismatch (torn or corrupted file)")
+	}
+	return doc, nil
 }
 
 // Load opens path and hands the reader to read, closing the file

@@ -22,7 +22,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"net/netip"
 	"sort"
@@ -34,29 +33,12 @@ import (
 
 // checkpointFormat names the document schema. v2 added the per-bucket
 // percentile sketches (throughput, qoe_proxy) and the unknown-bucket
-// counters; v3 added the mandatory integrity footer (see integrityFooter).
-// Older documents are rejected rather than restored with silently empty
-// distributions or unverifiable integrity — delete the old checkpoint (or
-// re-run the capture) to migrate.
+// counters; v3 added the mandatory integrity footer (persist.AppendFooter,
+// shared with the historical store's partition files). Older documents are
+// rejected rather than restored with silently empty distributions or
+// unverifiable integrity — delete the old checkpoint (or re-run the
+// capture) to migrate.
 const checkpointFormat = "gamelens-rollup-v3"
-
-// footerFormat names the integrity-footer line's own schema, so the footer
-// can evolve independently of the document.
-const footerFormat = "gamelens-rollup-footer-v1"
-
-// integrityFooter is the one-line JSON trailer Snapshot appends after the
-// document: the document's byte length and CRC32 (IEEE), terminated by a
-// newline. Restore requires it, which is what makes truncation detectable
-// at every byte boundary — any proper prefix of a checkpoint either loses
-// the trailing newline, tears the footer's JSON, or leaves a footer whose
-// length/CRC no longer match the bytes before it. Without the footer a
-// prefix that happened to end on a JSON boundary could decode as a valid,
-// smaller window and silently mis-restore.
-type integrityFooter struct {
-	Format string `json:"format"`
-	Bytes  int    `json:"bytes"`
-	CRC32  uint32 `json:"crc32"`
-}
 
 // checkpointJSON is the stable on-disk representation of a Rollup.
 type checkpointJSON struct {
@@ -124,51 +106,10 @@ func (r *Rollup) Snapshot(w io.Writer) error {
 	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("rollup: encoding checkpoint: %w", err)
 	}
-	if _, err := w.Write(appendFooter(buf.Bytes())); err != nil {
+	if _, err := w.Write(persist.AppendFooter(buf.Bytes())); err != nil {
 		return fmt.Errorf("rollup: writing checkpoint: %w", err)
 	}
 	return nil
-}
-
-// appendFooter returns doc with its integrity footer line appended.
-func appendFooter(doc []byte) []byte {
-	footer, err := json.Marshal(integrityFooter{
-		Format: footerFormat,
-		Bytes:  len(doc),
-		CRC32:  crc32.ChecksumIEEE(doc),
-	})
-	if err != nil {
-		panic(err) // a struct of string+ints cannot fail to marshal
-	}
-	out := append(doc, footer...)
-	return append(out, '\n')
-}
-
-// splitFooter validates data's integrity footer and returns the document
-// bytes it covers. Every failure mode a truncation or bit flip can produce
-// lands here: a missing terminator, a torn footer line, or a length/CRC
-// mismatch against the preceding bytes.
-func splitFooter(data []byte) ([]byte, error) {
-	if len(data) == 0 || data[len(data)-1] != '\n' {
-		return nil, fmt.Errorf("rollup: checkpoint truncated: missing integrity footer terminator")
-	}
-	body := data[:len(data)-1]
-	i := bytes.LastIndexByte(body, '\n')
-	if i < 0 {
-		return nil, fmt.Errorf("rollup: checkpoint has no integrity footer")
-	}
-	doc, line := body[:i+1], body[i+1:]
-	var f integrityFooter
-	if err := json.Unmarshal(line, &f); err != nil {
-		return nil, fmt.Errorf("rollup: corrupt integrity footer: %w", err)
-	}
-	if f.Format != footerFormat {
-		return nil, fmt.Errorf("rollup: unknown integrity footer format %q", f.Format)
-	}
-	if f.Bytes != len(doc) || f.CRC32 != crc32.ChecksumIEEE(doc) {
-		return nil, fmt.Errorf("rollup: checkpoint integrity mismatch (torn or corrupted file)")
-	}
-	return doc, nil
 }
 
 // Restore rebuilds a rollup from a checkpoint written by Snapshot. The
@@ -182,9 +123,9 @@ func Restore(rd io.Reader) (*Rollup, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rollup: reading checkpoint: %w", err)
 	}
-	docBytes, err := splitFooter(data)
+	docBytes, err := persist.SplitFooter(data)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("rollup: checkpoint: %w", err)
 	}
 	var doc checkpointJSON
 	if err := json.Unmarshal(docBytes, &doc); err != nil {
@@ -217,7 +158,7 @@ func Restore(rd io.Reader) (*Rollup, error) {
 			if bj.Idx == noBucket {
 				return nil, fmt.Errorf("rollup: subscriber %s: bucket index %d is the empty-slot sentinel", sj.Addr, bj.Idx)
 			}
-			if err := validateCounts(&bj.Counts); err != nil {
+			if err := ValidateCounts(&bj.Counts); err != nil {
 				return nil, fmt.Errorf("rollup: subscriber %s bucket %d: %w", sj.Addr, bj.Idx, err)
 			}
 			slot := &sub.ring[r.pos(bj.Idx)]
@@ -232,13 +173,14 @@ func Restore(rd io.Reader) (*Rollup, error) {
 	return r, nil
 }
 
-// validateCounts rejects bucket aggregates a correct Snapshot cannot have
-// produced: every bucket that counted a session must carry both percentile
-// sketches, in the package geometry (mergeability depends on it), holding
-// exactly one sample per session. Restoring anything looser would let a
-// corrupt checkpoint silently desynchronize the distributions from the
-// counts they summarize.
-func validateCounts(c *Counts) error {
+// ValidateCounts rejects aggregates a correct Snapshot (or partition seal)
+// cannot have produced: every aggregate that counted a session must carry
+// both percentile sketches, in the package geometry (mergeability depends
+// on it), holding exactly one sample per session. Restoring anything looser
+// would let a corrupt document silently desynchronize the distributions
+// from the counts they summarize. The historical store applies the same
+// validation to every archive partition it loads.
+func ValidateCounts(c *Counts) error {
 	if c.Sessions <= 0 {
 		return fmt.Errorf("non-positive session count %d", c.Sessions)
 	}

@@ -7,7 +7,7 @@ import (
 	"gamelens/internal/sketch"
 )
 
-// TestCheckpointValidationOrderStable pins that validateCounts examines the
+// TestCheckpointValidationOrderStable pins that ValidateCounts examines the
 // sketches in a fixed order (throughput, then qoe_proxy), so which error a
 // corrupt checkpoint surfaces is the same on every run. The original code
 // ranged over a map literal, which made the reported sketch nondeterministic
@@ -16,9 +16,9 @@ func TestCheckpointValidationOrderStable(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		// Both sketches missing: the first-checked sketch must win, every time.
 		c := Counts{Sessions: 1}
-		err := validateCounts(&c)
+		err := ValidateCounts(&c)
 		if err == nil {
-			t.Fatal("validateCounts accepted a bucket with no sketches")
+			t.Fatal("ValidateCounts accepted a bucket with no sketches")
 		}
 		if !strings.Contains(err.Error(), "throughput") {
 			t.Fatalf("run %d: expected the throughput sketch to be validated first, got %v", i, err)
@@ -28,9 +28,9 @@ func TestCheckpointValidationOrderStable(t *testing.T) {
 		// name qoe_proxy — processing reached the second pair in order.
 		c = Counts{Sessions: 1, Throughput: sketch.New(sketchCfg)}
 		c.Throughput.Add(1.0)
-		err = validateCounts(&c)
+		err = ValidateCounts(&c)
 		if err == nil {
-			t.Fatal("validateCounts accepted a bucket missing its qoe_proxy sketch")
+			t.Fatal("ValidateCounts accepted a bucket missing its qoe_proxy sketch")
 		}
 		if !strings.Contains(err.Error(), "qoe_proxy") {
 			t.Fatalf("run %d: expected the qoe_proxy error once throughput passed, got %v", i, err)

@@ -58,6 +58,22 @@ type CheckpointerConfig struct {
 	StartGen uint64
 	// FS is the persist filesystem seam (nil = the real filesystem).
 	FS persist.FS
+	// Archive, when non-nil, is driven from the same emitter hook: every
+	// Tick forwards to Archive.Tick (before the checkpoint-cadence gate, so
+	// archive sealing runs even with periodic checkpoints disabled) and
+	// Final forwards to Archive.Final after the final checkpoint. The
+	// historical store (internal/rollup/store) implements it; the interface
+	// lives here so the store can depend on rollup without a cycle.
+	Archive Archiver
+}
+
+// Archiver is the archive surface a Checkpointer drives alongside its own
+// checkpoint cadence: Tick advances the archive on the packet clock (seal
+// due partitions, compact, GC — a no-op when nothing is due), Final flushes
+// at end of run.
+type Archiver interface {
+	Tick() error
+	Final() error
 }
 
 func (c CheckpointerConfig) withDefaults() CheckpointerConfig {
@@ -130,34 +146,38 @@ func (cp *Checkpointer) genPath(gen uint64) string {
 // per interval, not one per drained batch, and the failure is counted for
 // Stats rather than wedging the emitter.
 func (cp *Checkpointer) Tick() (wrote bool, err error) {
+	var archErr error
+	if cp.cfg.Archive != nil {
+		archErr = cp.cfg.Archive.Tick()
+	}
 	if cp.cfg.EveryBuckets <= 0 {
-		return false, nil
+		return false, archErr
 	}
 	clock := cp.src.Clock()
 	if clock.IsZero() {
-		return false, nil
+		return false, archErr
 	}
-	idx := floorDiv(clock.UnixNano(), cp.wNs)
+	idx := FloorDiv(clock.UnixNano(), cp.wNs)
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	if !cp.hasIdx {
 		cp.hasIdx = true
 		cp.lastIdx = idx
-		return false, nil
+		return false, archErr
 	}
 	if idx-cp.lastIdx < int64(cp.cfg.EveryBuckets) {
-		return false, nil
+		return false, archErr
 	}
 	cp.lastIdx = idx
 	gen := cp.nextGen
 	if err := cp.writeRetry(cp.genPath(gen)); err != nil {
 		cp.failures++
-		return false, fmt.Errorf("rollup: checkpoint generation %d: %w", gen, err)
+		return false, errors.Join(archErr, fmt.Errorf("rollup: checkpoint generation %d: %w", gen, err))
 	}
 	cp.nextGen++
 	cp.written++
 	cp.gc(gen)
-	return true, nil
+	return true, archErr
 }
 
 // Final writes the authoritative end-of-run checkpoint at the base path,
@@ -167,11 +187,17 @@ func (cp *Checkpointer) Tick() (wrote bool, err error) {
 func (cp *Checkpointer) Final() error {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+	var errs []error
 	if err := cp.writeRetry(cp.cfg.Path); err != nil {
 		cp.failures++
-		return fmt.Errorf("rollup: final checkpoint: %w", err)
+		errs = append(errs, fmt.Errorf("rollup: final checkpoint: %w", err))
 	}
-	return nil
+	if cp.cfg.Archive != nil {
+		if err := cp.cfg.Archive.Final(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Generations returns how many periodic generations this Checkpointer has
@@ -256,6 +282,11 @@ func Recover(pfs persist.FS, path string) (*Rollup, RecoverInfo, error) {
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, info, fmt.Errorf("rollup: scanning checkpoint directory: %w", err)
 	}
+	// persist.FS.ReadDir does not promise sorted names (os.ReadDir happens
+	// to sort; an injected FS may not), and the newest-first scan below must
+	// visit candidates — and number quarantines — identically on every
+	// filesystem.
+	sort.Strings(names)
 	base := filepath.Base(path)
 	var gens []uint64
 	for _, name := range names {

@@ -69,7 +69,7 @@ func (r *Rollup) Merge(tap *Rollup) error {
 		for i := range sub.ring {
 			b := &sub.ring[i]
 			if b.idx != noBucket {
-				buckets = append(buckets, tapBucket{addr: addr, idx: b.idx, counts: b.counts.clone()})
+				buckets = append(buckets, tapBucket{addr: addr, idx: b.idx, counts: b.counts.Clone()})
 			}
 		}
 	}
@@ -113,7 +113,7 @@ func (r *Rollup) Merge(tap *Rollup) error {
 		// would differ by at least Buckets widths, a whole window).
 		slot := &sub.ring[r.pos(b.idx)]
 		if slot.idx == b.idx {
-			slot.counts.merge(&b.counts)
+			slot.counts.Merge(&b.counts)
 		} else if slot.idx == noBucket {
 			*slot = bucket{idx: b.idx, counts: b.counts}
 		}

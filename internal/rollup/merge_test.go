@@ -224,7 +224,7 @@ func TestCountsMergeAllFields(t *testing.T) {
 		e.MeanDownMbps = mbps
 		e.QoEProxy = proxy
 		var c Counts
-		c.add(e)
+		c.Add(e)
 		return c
 	}
 	a := mk(1, "Fortnite", true, qoe.Good, qoe.Good, 10, 0.8)
@@ -232,11 +232,11 @@ func TestCountsMergeAllFields(t *testing.T) {
 	nameless := entry(3, time.Minute, "", qoe.Good)
 	nameless.Pattern = ""
 	var c Counts
-	c.add(nameless)
+	c.Add(nameless)
 
 	var sum Counts
 	for _, o := range []Counts{a, b, c} {
-		sum.merge(&o)
+		sum.Merge(&o)
 	}
 	if sum.Sessions != 3 || sum.Evicted != 1 || sum.Unknown != 1 {
 		t.Errorf("sessions/evicted/unknown = %d/%d/%d, want 3/1/1", sum.Sessions, sum.Evicted, sum.Unknown)

@@ -213,8 +213,9 @@ func finiteOrZero(v float64) float64 {
 	return v
 }
 
-// add folds one entry in.
-func (c *Counts) add(e Entry) {
+// Add folds one entry in — the single ingest primitive every aggregate
+// (live-window bucket, historical-store partition cell) shares.
+func (c *Counts) Add(e Entry) {
 	c.Sessions++
 	if e.Evicted {
 		c.Evicted++
@@ -282,10 +283,10 @@ func (c *Counts) reset() {
 	*c = Counts{Titles: titles, Patterns: patterns, Throughput: thr, QoEProxy: qoeSk}
 }
 
-// merge folds another aggregate in (window summation over buckets, and the
+// Merge folds another aggregate in (window summation over buckets, and the
 // fleet-view fold of Rollup.Merge). Sketch geometry is uniform package-wide
 // (Restore enforces sketchCfg), so the sketch merges cannot mismatch.
-func (c *Counts) merge(o *Counts) {
+func (c *Counts) Merge(o *Counts) {
 	c.Sessions += o.Sessions
 	c.Evicted += o.Evicted
 	//gamelens:sorted commutative map-to-map sum; iteration order invisible
@@ -327,9 +328,9 @@ func (c *Counts) merge(o *Counts) {
 	}
 }
 
-// clone returns an independent deep copy (maps and sketches included), for
+// Clone returns an independent deep copy (maps and sketches included), for
 // folds that must not alias the source rollup's state.
-func (c *Counts) clone() Counts {
+func (c *Counts) Clone() Counts {
 	out := *c
 	if c.Titles != nil {
 		out.Titles = make(map[string]int64, len(c.Titles))
@@ -528,9 +529,9 @@ func (r *Rollup) Sink() core.ReportSink {
 	return func(rep *core.SessionReport) { r.Observe(FromReport(rep)) }
 }
 
-// floorDiv is integer division rounding toward negative infinity, so bucket
+// FloorDiv is integer division rounding toward negative infinity, so bucket
 // numbering is monotonic across the epoch.
-func floorDiv(a, b int64) int64 {
+func FloorDiv(a, b int64) int64 {
 	q := a / b
 	if a%b != 0 && (a < 0) != (b < 0) {
 		q--
@@ -600,8 +601,8 @@ func (r *Rollup) observeLocked(e Entry) {
 	}
 	end := e.End.UnixNano()
 	r.advanceLocked(end)
-	idx := floorDiv(end, r.wNs)
-	if idx <= floorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets) {
+	idx := FloorDiv(end, r.wNs)
+	if idx <= FloorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets) {
 		r.late++
 		return
 	}
@@ -625,8 +626,51 @@ func (r *Rollup) observeLocked(e Entry) {
 		b.idx = idx
 		b.counts.reset()
 	}
-	b.counts.add(e)
+	b.counts.Add(e)
 	r.ingested++
+}
+
+// InjectCounts folds a pre-aggregated cell into the bucket containing at —
+// the archive-refold path: cmd/rollupmerge uses it to fold historical-store
+// partition files (internal/rollup/store) back into a fleet window
+// alongside tap checkpoints. The whole cell lands in one bucket (a
+// partition is one cell spanning its whole tier width; the window cannot
+// re-spread it), the clock advances to at, and a cell older than the slid
+// window is dropped with its sessions counted late — exactly Observe's
+// contract lifted from one entry to a summed aggregate.
+func (r *Rollup) InjectCounts(at time.Time, addr netip.Addr, c *Counts) {
+	if c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !addr.IsValid() || at.IsZero() {
+		r.late += c.Sessions
+		return
+	}
+	ns := at.UnixNano()
+	r.advanceLocked(ns)
+	idx := FloorDiv(ns, r.wNs)
+	if !r.liveLocked(idx) {
+		r.late += c.Sessions
+		return
+	}
+	sub := r.subs[addr]
+	if sub == nil {
+		sub = newSubscriber(r.cfg.Buckets)
+		r.subs[addr] = sub
+	}
+	b := &sub.ring[r.pos(idx)]
+	if b.idx != idx {
+		if b.idx > idx {
+			r.late += c.Sessions
+			return
+		}
+		b.idx = idx
+		b.counts.reset()
+	}
+	b.counts.Merge(c)
+	r.ingested += c.Sessions
 }
 
 // Advance pushes the window clock to now (a packet-time instant) without
@@ -651,7 +695,7 @@ func (r *Rollup) liveLocked(idx int64) bool {
 	if !r.hasClock {
 		return false
 	}
-	return idx > floorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets)
+	return idx > FloorDiv(r.clockNs, r.wNs)-int64(r.cfg.Buckets)
 }
 
 // Aggregate is one subscriber's whole-window summary.
@@ -671,7 +715,7 @@ func (r *Rollup) Subscribers() []Aggregate {
 		for i := range sub.ring {
 			b := &sub.ring[i]
 			if b.idx != noBucket && r.liveLocked(b.idx) {
-				agg.Window.merge(&b.counts)
+				agg.Window.Merge(&b.counts)
 			}
 		}
 		if agg.Window.Sessions > 0 {
@@ -694,7 +738,7 @@ func (r *Rollup) Total() Counts {
 		for i := range sub.ring {
 			b := &sub.ring[i]
 			if b.idx != noBucket && r.liveLocked(b.idx) {
-				total.merge(&b.counts)
+				total.Merge(&b.counts)
 			}
 		}
 	}

@@ -14,6 +14,7 @@ import (
 	"gamelens/internal/flowdetect"
 	"gamelens/internal/gamesim"
 	"gamelens/internal/packet"
+	"gamelens/internal/persist"
 	"gamelens/internal/qoe"
 	"gamelens/internal/stageclass"
 	"gamelens/internal/trace"
@@ -311,7 +312,7 @@ func footered(doc string) string {
 	if !strings.HasSuffix(doc, "\n") {
 		doc += "\n"
 	}
-	return string(appendFooter([]byte(doc)))
+	return string(persist.AppendFooter([]byte(doc)))
 }
 
 func TestRestoreRejectsGarbage(t *testing.T) {
